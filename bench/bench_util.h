@@ -1,0 +1,31 @@
+// Shared helpers for the table-reproduction benches: fixed-width table
+// printing and paper-value annotations so every bench binary prints
+// "measured vs paper" rows.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dexlego::bench {
+
+inline void print_header(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void print_row(const std::vector<std::string>& cells,
+                      const std::vector<int>& widths) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    int w = i < widths.size() ? widths[i] : 12;
+    std::printf("%-*s", w, cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string pct(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", v * 100.0);
+  return buf;
+}
+
+}  // namespace dexlego::bench

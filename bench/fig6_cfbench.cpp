@@ -1,0 +1,80 @@
+// Reproduces Fig. 6: CF-Bench-analog performance of the unmodified runtime
+// vs the runtime with DexLego's JIT collection attached. 30 runs each of a
+// bytecode-heavy workload ("Java score") and a native-heavy workload
+// ("native score"); score = work / time, overall = geometric mean.
+//
+// Paper reference: DexLego introduces 7.5x / 1.4x / 2.3x overhead on the
+// Java / native / overall scores. Absolute values differ (our substrate is
+// a host interpreter, not a Nexus 5X); the shape — Java >> overall > native
+// — is the reproduction target.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/benchsuite/appgen.h"
+#include "src/core/collector.h"
+
+using namespace dexlego;
+
+namespace {
+
+struct Timing {
+  double mean_ms = 0;
+  double stddev_ms = 0;
+};
+
+Timing measure(const dex::Apk& apk, bool with_collector, bool native_app,
+               int repetitions) {
+  std::vector<double> times;
+  for (int i = 0; i < repetitions; ++i) {
+    rt::Runtime runtime;
+    if (native_app) suite::register_cfbench_natives(runtime);
+    core::Collector collector;
+    if (with_collector) runtime.add_hooks(&collector);
+    runtime.install(apk);
+    auto start = std::chrono::steady_clock::now();
+    runtime.launch();
+    auto end = std::chrono::steady_clock::now();
+    times.push_back(std::chrono::duration<double, std::milli>(end - start).count());
+  }
+  Timing t;
+  for (double v : times) t.mean_ms += v;
+  t.mean_ms /= static_cast<double>(times.size());
+  for (double v : times) t.stddev_ms += (v - t.mean_ms) * (v - t.mean_ms);
+  t.stddev_ms = std::sqrt(t.stddev_ms / static_cast<double>(times.size()));
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kRuns = 30;
+  suite::GeneratedApp java_app = suite::cfbench_java_app();
+  suite::GeneratedApp native_app = suite::cfbench_native_app();
+
+  bench::print_header("Fig. 6: Performance Measured by CF-Bench (analog)");
+  Timing java_base = measure(java_app.apk, false, false, kRuns);
+  Timing java_lego = measure(java_app.apk, true, false, kRuns);
+  Timing native_base = measure(native_app.apk, false, true, kRuns);
+  Timing native_lego = measure(native_app.apk, true, true, kRuns);
+
+  double java_overhead = java_lego.mean_ms / java_base.mean_ms;
+  double native_overhead = native_lego.mean_ms / native_base.mean_ms;
+  double overall_overhead = std::sqrt(java_overhead * native_overhead);
+
+  std::printf("%-10s %14s %18s %10s %s\n", "Score", "Unmodified ART",
+              "With DexLego", "Overhead", "(paper overhead)");
+  std::printf("%-10s %11.2f ms %15.2f ms %9.2fx %s\n", "Java",
+              java_base.mean_ms, java_lego.mean_ms, java_overhead, "7.5x");
+  std::printf("%-10s %11.2f ms %15.2f ms %9.2fx %s\n", "Native",
+              native_base.mean_ms, native_lego.mean_ms, native_overhead, "1.4x");
+  std::printf("%-10s %11s %15s %12.2fx %s\n", "Overall", "-", "-",
+              overall_overhead, "2.3x");
+  std::printf("\n(std dev: java %.2f/%.2f ms, native %.2f/%.2f ms over %d runs; "
+              "shape target: Java >> overall > native)\n",
+              java_base.stddev_ms, java_lego.stddev_ms, native_base.stddev_ms,
+              native_lego.stddev_ms, kRuns);
+  return 0;
+}

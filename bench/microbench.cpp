@@ -1,0 +1,113 @@
+// google-benchmark microbenchmarks for the library's hot paths: interpreter
+// throughput with and without collection hooks, LDEX serialization, the
+// reassembler and the static analyzer. Complements the table benches with
+// per-component numbers.
+#include <benchmark/benchmark.h>
+
+#include "src/analysis/static_taint.h"
+#include "src/benchsuite/appgen.h"
+#include "src/core/collector.h"
+#include "src/core/dexlego.h"
+#include "src/core/files.h"
+#include "src/core/reassembler.h"
+#include "src/dex/io.h"
+
+using namespace dexlego;
+
+namespace {
+
+const suite::GeneratedApp& bench_app() {
+  static suite::GeneratedApp app = [] {
+    suite::AppSpec spec;
+    spec.name = "micro";
+    spec.package = "bench.micro";
+    spec.seed = 7;
+    spec.target_units = 4000;
+    spec.full_coverage_style = true;
+    return suite::generate_app(spec);
+  }();
+  return app;
+}
+
+const core::CollectionOutput& bench_collection() {
+  static core::CollectionOutput output = [] {
+    core::Collector collector;
+    rt::Runtime runtime;
+    runtime.add_hooks(&collector);
+    runtime.install(bench_app().apk);
+    runtime.launch();
+    return collector.take_output();
+  }();
+  return output;
+}
+
+void BM_InterpreterPlain(benchmark::State& state) {
+  for (auto _ : state) {
+    rt::Runtime runtime;
+    runtime.install(bench_app().apk);
+    runtime.launch();
+    benchmark::DoNotOptimize(runtime.interp().steps());
+    state.counters["steps"] = static_cast<double>(runtime.interp().steps());
+  }
+}
+BENCHMARK(BM_InterpreterPlain)->Unit(benchmark::kMillisecond);
+
+void BM_InterpreterWithCollection(benchmark::State& state) {
+  for (auto _ : state) {
+    core::Collector collector;
+    rt::Runtime runtime;
+    runtime.add_hooks(&collector);
+    runtime.install(bench_app().apk);
+    runtime.launch();
+    benchmark::DoNotOptimize(collector.output().total_instructions_observed);
+  }
+}
+BENCHMARK(BM_InterpreterWithCollection)->Unit(benchmark::kMillisecond);
+
+void BM_DexWrite(benchmark::State& state) {
+  dex::DexFile file = dex::read_dex(bench_app().apk.classes());
+  for (auto _ : state) {
+    auto bytes = dex::write_dex(file);
+    benchmark::DoNotOptimize(bytes.size());
+  }
+}
+BENCHMARK(BM_DexWrite)->Unit(benchmark::kMicrosecond);
+
+void BM_DexRead(benchmark::State& state) {
+  auto bytes = bench_app().apk.classes();
+  for (auto _ : state) {
+    dex::DexFile file = dex::read_dex(bytes);
+    benchmark::DoNotOptimize(file.classes.size());
+  }
+}
+BENCHMARK(BM_DexRead)->Unit(benchmark::kMicrosecond);
+
+void BM_EncodeCollection(benchmark::State& state) {
+  for (auto _ : state) {
+    core::CollectionFiles files = core::encode_collection(bench_collection());
+    benchmark::DoNotOptimize(files.total_size());
+  }
+}
+BENCHMARK(BM_EncodeCollection)->Unit(benchmark::kMicrosecond);
+
+void BM_Reassemble(benchmark::State& state) {
+  for (auto _ : state) {
+    core::ReassembleResult result = core::reassemble(bench_collection());
+    benchmark::DoNotOptimize(result.stats.output_code_units);
+  }
+}
+BENCHMARK(BM_Reassemble)->Unit(benchmark::kMicrosecond);
+
+void BM_StaticAnalysis(benchmark::State& state) {
+  analysis::StaticAnalyzer analyzer(analysis::horndroid_config());
+  dex::DexFile file = dex::read_dex(bench_app().apk.classes());
+  for (auto _ : state) {
+    auto result = analyzer.analyze(file);
+    benchmark::DoNotOptimize(result.flows.size());
+  }
+}
+BENCHMARK(BM_StaticAnalysis)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

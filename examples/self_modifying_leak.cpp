@@ -1,0 +1,83 @@
+// The paper's running example (Code 1-4, Listing 1) end to end:
+//
+//   advancedLeak() calls normal(a) inside a loop; the native bytecodeTamper
+//   swaps that call to sink(a) for one iteration and then restores it, so
+//   the source and the sink never coexist in the static bytecode.
+//
+// This example prints (1) the smali of the method before and after
+// tampering, (2) the collection-tree shape DexLego records (root + one
+// divergence child, Listing 1), (3) the reassembled method where both calls
+// are reachable behind a Ldexlego/Modification; guard (Code 4), and (4) the
+// verdict of a static analyzer on original vs revealed.
+#include <cstdio>
+
+#include "src/analysis/static_taint.h"
+#include "src/benchsuite/droidbench.h"
+#include "src/bytecode/disasm.h"
+#include "src/core/dexlego.h"
+#include "src/dex/io.h"
+
+using namespace dexlego;
+
+namespace {
+void print_method(const dex::DexFile& file, const char* cls, const char* name,
+                  const char* title) {
+  const dex::ClassDef* c = file.find_class(cls);
+  if (c == nullptr) return;
+  for (const auto* methods : {&c->direct_methods, &c->virtual_methods}) {
+    for (const dex::MethodDef& m : *methods) {
+      if (file.method_name(m.method_ref) == name && m.code) {
+        std::printf("--- %s ---\n%s\n", title,
+                    bc::disassemble_code(file, *m.code).c_str());
+      }
+    }
+  }
+}
+}  // namespace
+
+int main() {
+  suite::DroidBench db = suite::build_droidbench();
+  const suite::Sample* sample = db.find("SelfMod1");
+  if (sample == nullptr) return 1;
+
+  dex::DexFile original = dex::read_dex(sample->apk.classes());
+  print_method(original, "Ldb/SelfMod1/Main;", "advancedLeak",
+               "original advancedLeak (Code 2: only normal() visible)");
+
+  analysis::StaticAnalyzer horndroid(analysis::horndroid_config());
+  std::printf("HornDroid on the original APK: %zu flow(s) — the tampered sink "
+              "is invisible statically\n\n",
+              horndroid.analyze_apk(sample->apk).flow_count());
+
+  core::DexLegoOptions options;
+  options.configure_runtime = sample->configure_runtime;
+  core::DexLego dexlego(options);
+  core::RevealResult result = dexlego.reveal(sample->apk);
+
+  const core::MethodRecord* rec = result.collection.find_method(
+      {"Ldb/SelfMod1/Main;", "advancedLeak", "()V"});
+  if (rec != nullptr && !rec->trees.empty()) {
+    const core::TreeNode& root = *rec->trees[0];
+    std::printf("collection tree (Listing 1): root IL=%zu entries, %zu "
+                "divergence child(ren)\n",
+                root.il.size(), root.children.size());
+    for (const auto& child : root.children) {
+      std::printf("  child: sm_start=%u sm_end=%s IL=%zu entries (the sink "
+                  "call recorded during the tampered iteration)\n",
+                  child->sm_start,
+                  child->sm_end ? std::to_string(*child->sm_end).c_str() : "-",
+                  child->il.size());
+    }
+  }
+  std::printf("reassembly: %zu guard(s) inserted, verified=%s\n\n",
+              result.stats.guards, result.verified ? "yes" : "no");
+
+  dex::DexFile revealed = dex::read_dex(result.revealed_apk.classes());
+  print_method(revealed, "Ldb/SelfMod1/Main;", "advancedLeak",
+               "revealed advancedLeak (Code 4: both calls behind a "
+               "Modification guard)");
+
+  size_t flows = horndroid.analyze_apk(result.revealed_apk).flow_count();
+  std::printf("HornDroid on the revealed APK: %zu flow(s)\n", flows);
+  return flows > 0 ? 0 : 1;
+}

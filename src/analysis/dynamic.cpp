@@ -1,0 +1,37 @@
+#include "src/analysis/dynamic.h"
+
+#include "src/runtime/source_sink.h"
+
+namespace dexlego::analysis {
+
+AnalysisResult run_dynamic_analysis(const DynamicToolConfig& tool,
+                                    const dex::Apk& apk,
+                                    const DynamicRunOptions& options) {
+  rt::Runtime runtime(tool.runtime);
+  if (options.configure_runtime) options.configure_runtime(runtime);
+  runtime.install(apk);
+  if (options.driver) {
+    options.driver(runtime);
+  } else {
+    runtime.launch();
+    for (int id : runtime.ui_clickable_ids()) runtime.fire_click(id);
+    runtime.call_activity_method("onPause");
+    runtime.call_activity_method("onDestroy");
+  }
+
+  AnalysisResult result;
+  for (const rt::Runtime::SinkEvent& ev : runtime.leaks()) {
+    for (const rt::SourceSpec& src : rt::taint_sources()) {
+      if (ev.taint & src.taint) {
+        Flow flow;
+        flow.source = std::string(src.class_descriptor) + "->" + src.method;
+        flow.sink = ev.sink;
+        flow.where = "<runtime>";
+        result.flows.insert(flow);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace dexlego::analysis

@@ -1,0 +1,60 @@
+// Analysis results and the classification metrics of the paper's
+// formula (1): Sensitivity, Specificity and F-Measure.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dexlego::analysis {
+
+// One detected taint flow: source API, sink channel, containing method.
+struct Flow {
+  std::string source;  // e.g. "Landroid/telephony/TelephonyManager;->getDeviceId"
+  std::string sink;    // "sms" / "log" / "net"
+  std::string where;   // method containing the sink call
+
+  auto operator<=>(const Flow&) const = default;
+};
+
+struct AnalysisResult {
+  std::set<Flow> flows;
+
+  bool leak_detected() const { return !flows.empty(); }
+  size_t flow_count() const { return flows.size(); }
+  // Distinct (source, sink) pairs — the unit Table IV counts.
+  size_t distinct_leaks() const {
+    std::set<std::pair<std::string, std::string>> pairs;
+    for (const Flow& f : flows) pairs.emplace(f.source, f.sink);
+    return pairs.size();
+  }
+};
+
+// Sample-level classification counts over a benchmark run.
+struct Classification {
+  int tp = 0;  // leaky sample flagged
+  int fn = 0;  // leaky sample missed
+  int fp = 0;  // benign sample flagged
+  int tn = 0;  // benign sample clean
+
+  double sensitivity() const {
+    return tp + fn == 0 ? 0.0 : static_cast<double>(tp) / (tp + fn);
+  }
+  double specificity() const {
+    return tn + fp == 0 ? 0.0 : static_cast<double>(tn) / (tn + fp);
+  }
+  // Paper formula (1).
+  double f_measure() const {
+    double sens = sensitivity(), spec = specificity();
+    return sens + spec == 0.0 ? 0.0 : 2.0 * sens * spec / (sens + spec);
+  }
+  void add(bool ground_truth_leaky, bool detected) {
+    if (ground_truth_leaky) {
+      detected ? ++tp : ++fn;
+    } else {
+      detected ? ++fp : ++tn;
+    }
+  }
+};
+
+}  // namespace dexlego::analysis

@@ -1,0 +1,38 @@
+// Whole-app static taint analysis over LDEX bytecode — the engine behind the
+// FlowDroid / DroidSafe / HornDroid presets. Interprocedural,
+// context-insensitive with method summaries iterated to a global fixpoint;
+// flow-sensitive over registers; heap abstracted as a global field store
+// (precision knobs in ToolConfig); callbacks and lifecycle methods are
+// analysis roots; reflection is resolved when the name strings are statically
+// known (constant propagation — only the value-sensitive preset can see
+// through concat/xor string building).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/analysis/report.h"
+#include "src/analysis/tool_config.h"
+#include "src/dex/archive.h"
+#include "src/dex/dex.h"
+
+namespace dexlego::analysis {
+
+class StaticAnalyzer {
+ public:
+  explicit StaticAnalyzer(ToolConfig config) : cfg_(std::move(config)) {}
+
+  AnalysisResult analyze(const dex::DexFile& file);
+  // Convenience: analyze the classes.ldex inside an APK.
+  AnalysisResult analyze_apk(const dex::Apk& apk);
+
+  const ToolConfig& config() const { return cfg_; }
+
+ private:
+  ToolConfig cfg_;
+};
+
+}  // namespace dexlego::analysis

@@ -1,0 +1,82 @@
+// Synthetic application generator — stands in for the app populations the
+// paper draws from ecosystems we cannot access (AOSP app sources at specific
+// sizes for Table I, packed Google-Play/360/Wandoujia apps for Table V,
+// F-Droid apps for Tables VI/VII, CF-Bench and popular-app launches for
+// Fig. 6 / Table VIII). Generation is seed-deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/dex/archive.h"
+#include "src/runtime/runtime.h"
+#include "src/support/rng.h"
+
+namespace dexlego::suite {
+
+struct AppSpec {
+  std::string name;            // "Calculator", "com.moji.mjweather", ...
+  std::string package;
+  uint64_t seed = 1;
+  size_t target_units = 2000;  // approximate total code units
+
+  // Every generated branch executes both sides in one run (2-iteration loops
+  // with alternating conditions) so a single instrumented run covers every
+  // instruction — required for the Table I full-inclusion check.
+  bool full_coverage_style = false;
+
+  // Table V: number of leak flows to hide (device id always included;
+  // location/ssid mixed in).
+  int leak_flows = 0;
+
+  // Table VI/VII: fraction of code behind semantic input guards (reachable
+  // by force execution, practically unreachable by random fuzzing) and
+  // fraction in never-called methods (unreachable by anything).
+  double guarded_fraction = 0.0;
+  double dead_fraction = 0.0;
+
+  // Table VIII: thousands of framework render-loop iterations executed in
+  // onCreate — models the native init/display share of an app launch, which
+  // collection does not slow down.
+  int render_frames_k = 0;
+};
+
+struct GeneratedApp {
+  dex::Apk apk;
+  size_t code_units = 0;  // the "# of Instructions" metric
+};
+
+GeneratedApp generate_app(const AppSpec& spec);
+
+// --- fixed populations used by the benches ---
+
+// Table I: HTMLViewer / Calculator / Calendar / Contacts at the paper's
+// instruction counts (217 / 2,507 / 78,598 / 103,602).
+std::vector<AppSpec> table1_apps();
+
+// Table V: the nine market apps with their paper leak counts
+// (4,5,3,4,5,2,3,5,14) plus package/version/set metadata for the table.
+struct MarketAppInfo {
+  AppSpec spec;
+  std::string version;
+  std::string sample_set;  // "A" Google Play, "B" 360, "C" Wandoujia
+  std::string installs;
+};
+std::vector<MarketAppInfo> table5_apps();
+
+// Table VI/VII: five F-Droid apps at the paper's instruction counts.
+std::vector<AppSpec> fdroid_apps();
+
+// Fig. 6: CF-Bench analog workloads — a bytecode-heavy app ("Java score")
+// and a native-heavy app ("native score"). Registers the native compute
+// kernel on the runtime.
+GeneratedApp cfbench_java_app();
+GeneratedApp cfbench_native_app();
+void register_cfbench_natives(rt::Runtime& rt);
+
+// Table VIII: three launch-time apps (Snapchat/Instagram/WhatsApp analogs)
+// with progressively heavier onCreate work.
+std::vector<AppSpec> launch_apps();
+
+}  // namespace dexlego::suite

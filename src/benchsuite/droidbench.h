@@ -1,0 +1,43 @@
+// DroidBench-analog benchmark suite: 134 generated samples (111 leaky, 23
+// benign) mirroring the paper's evaluation set — the 119-sample public
+// release plus the authors' 15 contributed samples (5 advanced reflection,
+// 3 dynamic loading, 4 self-modifying, 3 unreachable taint flows).
+//
+// Every sample is a real LDEX app executed by the runtime and analyzed by
+// the real engines; ground truth is sample-level (leak exists / not) with
+// per-sample expected flow counts for the Table IV samples (Button1,
+// Button3, EmulatorDetection1, ImplicitFlow1, PrivateDataLeak3 exist by
+// name).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/dex/archive.h"
+#include "src/runtime/runtime.h"
+
+namespace dexlego::suite {
+
+struct Sample {
+  std::string name;
+  std::string category;
+  bool leaky = false;
+  int expected_flows = 0;  // ground-truth flow count (Table IV granularity)
+  dex::Apk apk;
+  // Registers sample natives (self-modification, key sources, JNI leaks).
+  std::function<void(rt::Runtime&)> configure_runtime;
+};
+
+struct DroidBench {
+  std::vector<Sample> samples;
+
+  const Sample* find(const std::string& name) const;
+  size_t leaky_count() const;
+  size_t benign_count() const;
+};
+
+// Builds the full 134-sample suite (deterministic).
+DroidBench build_droidbench();
+
+}  // namespace dexlego::suite

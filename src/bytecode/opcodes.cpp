@@ -1,0 +1,78 @@
+#include "src/bytecode/opcodes.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace dexlego::bc {
+
+namespace {
+constexpr size_t kOpCount = static_cast<size_t>(Op::kMaxOp) + 1;
+
+constexpr std::array<OpInfo, kOpCount> kOpTable = {{
+    {"nop", 1, RefKind::kNone},
+    {"move", 2, RefKind::kNone},
+    {"const/16", 2, RefKind::kNone},
+    {"const/32", 3, RefKind::kNone},
+    {"const-wide", 5, RefKind::kNone},
+    {"const-string", 2, RefKind::kString},
+    {"const-null", 1, RefKind::kNone},
+    {"move-result", 1, RefKind::kNone},
+    {"move-exception", 1, RefKind::kNone},
+    {"return-void", 1, RefKind::kNone},
+    {"return", 1, RefKind::kNone},
+    {"throw", 1, RefKind::kNone},
+    {"goto", 2, RefKind::kNone},
+    {"if-eq", 3, RefKind::kNone},
+    {"if-ne", 3, RefKind::kNone},
+    {"if-lt", 3, RefKind::kNone},
+    {"if-ge", 3, RefKind::kNone},
+    {"if-gt", 3, RefKind::kNone},
+    {"if-le", 3, RefKind::kNone},
+    {"if-eqz", 2, RefKind::kNone},
+    {"if-nez", 2, RefKind::kNone},
+    {"if-ltz", 2, RefKind::kNone},
+    {"if-gez", 2, RefKind::kNone},
+    {"if-gtz", 2, RefKind::kNone},
+    {"if-lez", 2, RefKind::kNone},
+    {"add-int", 2, RefKind::kNone},
+    {"sub-int", 2, RefKind::kNone},
+    {"mul-int", 2, RefKind::kNone},
+    {"div-int", 2, RefKind::kNone},
+    {"rem-int", 2, RefKind::kNone},
+    {"and-int", 2, RefKind::kNone},
+    {"or-int", 2, RefKind::kNone},
+    {"xor-int", 2, RefKind::kNone},
+    {"shl-int", 2, RefKind::kNone},
+    {"shr-int", 2, RefKind::kNone},
+    {"cmp", 2, RefKind::kNone},
+    {"add-int/lit8", 2, RefKind::kNone},
+    {"mul-int/lit8", 2, RefKind::kNone},
+    {"neg-int", 2, RefKind::kNone},
+    {"not-int", 2, RefKind::kNone},
+    {"new-instance", 2, RefKind::kType},
+    {"new-array", 3, RefKind::kType},
+    {"array-length", 2, RefKind::kNone},
+    {"aget", 2, RefKind::kNone},
+    {"aput", 2, RefKind::kNone},
+    {"iget", 3, RefKind::kField},
+    {"iput", 3, RefKind::kField},
+    {"sget", 2, RefKind::kField},
+    {"sput", 2, RefKind::kField},
+    {"invoke-virtual", 4, RefKind::kMethod},
+    {"invoke-direct", 4, RefKind::kMethod},
+    {"invoke-static", 4, RefKind::kMethod},
+    {"packed-switch", 2, RefKind::kNone},
+    {"instance-of", 3, RefKind::kType},
+    {"switch-payload", 0, RefKind::kNone},
+}};
+}  // namespace
+
+const OpInfo& op_info(Op op) {
+  auto idx = static_cast<size_t>(op);
+  if (idx >= kOpCount) throw std::out_of_range("invalid opcode");
+  return kOpTable[idx];
+}
+
+bool valid_op(uint8_t raw) { return raw <= static_cast<uint8_t>(Op::kMaxOp); }
+
+}  // namespace dexlego::bc

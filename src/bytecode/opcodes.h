@@ -1,0 +1,107 @@
+// The LDEX instruction set — a Dalvik-style register machine. Instructions
+// are variable width (1..5 sixteen-bit code units, matching the paper's
+// description of Android bytecode in Section II-B). Code unit 0 packs the
+// opcode in the low byte and the primary operand (register or invoke argc)
+// in the high byte; further units carry registers, literals, pool indices
+// and branch offsets.
+//
+// Branch offsets (goto / if* / switch payload targets) are signed 16-bit
+// values in code units, relative to the *start* of the branching
+// instruction — the same convention as real Dalvik, which is what makes
+// `dex_pc`-keyed instruction comparison (Algorithm 1) meaningful.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace dexlego::bc {
+
+enum class Op : uint8_t {
+  kNop = 0x00,           // [op|0]
+  kMove = 0x01,          // [op|vA][vB]                 vA <- vB
+  kConst16 = 0x02,       // [op|vA][lit16]              vA <- sext(lit16)
+  kConst32 = 0x03,       // [op|vA][lo][hi]             vA <- lit32
+  kConstWide = 0x04,     // [op|vA][l0][l1][l2][l3]     vA <- lit64
+  kConstString = 0x05,   // [op|vA][string_idx]
+  kConstNull = 0x06,     // [op|vA]
+  kMoveResult = 0x07,    // [op|vA]                     vA <- last invoke result
+  kMoveException = 0x08, // [op|vA]                     vA <- pending exception
+  kReturnVoid = 0x09,    // [op|0]
+  kReturn = 0x0a,        // [op|vA]
+  kThrow = 0x0b,         // [op|vA]
+  kGoto = 0x0c,          // [op|0][off16]
+  kIfEq = 0x0d,          // [op|vA][vB|0][off16]
+  kIfNe = 0x0e,
+  kIfLt = 0x0f,
+  kIfGe = 0x10,
+  kIfGt = 0x11,
+  kIfLe = 0x12,
+  kIfEqz = 0x13,         // [op|vA][off16]
+  kIfNez = 0x14,
+  kIfLtz = 0x15,
+  kIfGez = 0x16,
+  kIfGtz = 0x17,
+  kIfLez = 0x18,
+  kAdd = 0x19,           // [op|vA][vB|vC]              vA <- vB op vC
+  kSub = 0x1a,
+  kMul = 0x1b,
+  kDiv = 0x1c,           // throws on division by zero
+  kRem = 0x1d,
+  kAnd = 0x1e,
+  kOr = 0x1f,
+  kXor = 0x20,
+  kShl = 0x21,
+  kShr = 0x22,
+  kCmp = 0x23,           // vA <- sign(vB - vC) in {-1,0,1}
+  kAddLit8 = 0x24,       // [op|vA][vB|lit8]            vA <- vB + sext(lit8)
+  kMulLit8 = 0x25,
+  kNeg = 0x26,           // [op|vA][vB|0]
+  kNot = 0x27,
+  kNewInstance = 0x28,   // [op|vA][type_idx]
+  kNewArray = 0x29,      // [op|vA][vB|0][type_idx]     vA <- new T[vB]
+  kArrayLength = 0x2a,   // [op|vA][vB|0]
+  kAget = 0x2b,          // [op|vA][vB|vC]              vA <- vB[vC]
+  kAput = 0x2c,          // [op|vA][vB|vC]              vB[vC] <- vA
+  kIget = 0x2d,          // [op|vA][vB|0][field_idx]    vA <- vB.field
+  kIput = 0x2e,          // [op|vA][vB|0][field_idx]    vB.field <- vA
+  kSget = 0x2f,          // [op|vA][field_idx]
+  kSput = 0x30,          // [op|vA][field_idx]
+  kInvokeVirtual = 0x31, // [op|argc][method_idx][a0|a1][a2|a3]
+  kInvokeDirect = 0x32,
+  kInvokeStatic = 0x33,
+  kPackedSwitch = 0x34,  // [op|vA][payload_off16]
+  kInstanceOf = 0x35,    // [op|vA][vB|0][type_idx]
+  // Switch payload pseudo-instruction (data, never executed):
+  // [op|0][count][first_key_lo][first_key_hi][rel_target16 x count]
+  kPayload = 0x36,
+  kMaxOp = kPayload,
+};
+
+// What kind of constant-pool index (if any) an opcode's idx operand carries.
+enum class RefKind : uint8_t { kNone, kString, kType, kField, kMethod };
+
+// Static per-opcode metadata. Width 0 means variable (payload only).
+struct OpInfo {
+  std::string_view name;
+  uint8_t width;  // in 16-bit code units; 0 = variable (kPayload)
+  RefKind ref;
+};
+
+const OpInfo& op_info(Op op);
+bool valid_op(uint8_t raw);
+
+inline bool is_conditional_branch(Op op) {
+  return op >= Op::kIfEq && op <= Op::kIfLez;
+}
+inline bool is_two_reg_if(Op op) { return op >= Op::kIfEq && op <= Op::kIfLe; }
+inline bool is_invoke(Op op) {
+  return op == Op::kInvokeVirtual || op == Op::kInvokeDirect ||
+         op == Op::kInvokeStatic;
+}
+inline bool is_return(Op op) { return op == Op::kReturnVoid || op == Op::kReturn; }
+// Whether execution can fall through to the next instruction.
+inline bool can_continue(Op op) {
+  return !is_return(op) && op != Op::kGoto && op != Op::kThrow && op != Op::kPayload;
+}
+
+}  // namespace dexlego::bc

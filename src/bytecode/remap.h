@@ -1,0 +1,27 @@
+// Cross-DEX class copying: re-interns every pool reference a code item makes
+// (strings, types, fields, methods) into a target DexBuilder and rewrites the
+// instruction operands. Used by the class-wise packers (splitting one DEX
+// into several) and by the DexHunter/AppSpear baselines (merging every
+// in-memory image into one dump).
+#pragma once
+
+#include <span>
+
+#include "src/dex/builder.h"
+#include "src/dex/dex.h"
+
+namespace dexlego::bc {
+
+// Copies `code` from `src` into the pools of `dst`, remapping operands.
+dex::CodeItem remap_code(const dex::DexFile& src, const dex::CodeItem& code,
+                         dex::DexBuilder& dst);
+
+// Copies a whole class definition (fields, methods, code) into `dst`.
+void copy_class(const dex::DexFile& src, const dex::ClassDef& cls,
+                dex::DexBuilder& dst);
+
+// Merges several DEX files into one; duplicate class descriptors keep the
+// first definition (class-loader order semantics).
+dex::DexFile merge_dex_files(std::span<const dex::DexFile* const> files);
+
+}  // namespace dexlego::bc

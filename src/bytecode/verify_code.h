@@ -1,0 +1,21 @@
+// Instruction-level verifier: walks every code item checking opcode validity,
+// instruction alignment, branch targets landing on instruction starts, pool
+// index bounds against the owning DexFile, register bounds against the frame
+// size, and payload reachability (payloads must not be reachable by
+// fallthrough). DexLego's reassembled output must pass this — the paper's
+// claim is that the reassembled DEX is *valid*, not just textually plausible.
+#pragma once
+
+#include "src/dex/dex.h"
+#include "src/dex/verify.h"
+
+namespace dexlego::bc {
+
+// Verifies one code item against its file (for pool bounds).
+dex::VerifyResult verify_code(const dex::DexFile& file, const dex::CodeItem& code,
+                              const std::string& context);
+
+// Structural + instruction-level verification of a whole file.
+dex::VerifyResult verify_dex(const dex::DexFile& file);
+
+}  // namespace dexlego::bc

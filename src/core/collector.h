@@ -1,0 +1,68 @@
+// The JIT collection hook — DexLego's online half. Implements Algorithm 1
+// (comparison-based instruction collection with divergence/convergence
+// detection) on the interpreter's per-instruction callback, plus the class/
+// field/static-value collection on the class-linker callbacks and the
+// reflection-target recording on the reflective-invoke callback.
+//
+// A Collector outlives individual Runtime instances: force execution and
+// fuzzing run the app many times, and trees accumulate per MethodKey across
+// runs (unique trees only, capped by `max_variants`).
+#pragma once
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/core/collection.h"
+#include "src/runtime/hooks.h"
+
+namespace dexlego::core {
+
+class Collector : public rt::RuntimeHooks {
+ public:
+  struct Options {
+    size_t max_variants = 8;  // unique trees kept per method
+    bool collect_reflection = true;
+  };
+
+  Collector() : options_(Options{}) {}
+  explicit Collector(const Options& options) : options_(options) {}
+
+  // --- RuntimeHooks ---
+  void on_class_initialized(rt::RtClass& cls) override;
+  void on_method_entry(rt::RtMethod& method) override;
+  void on_method_exit(rt::RtMethod& method) override;
+  void on_instruction(rt::RtMethod& method, uint32_t dex_pc,
+                      std::span<const uint16_t> code) override;
+  void on_reflective_invoke(rt::RtMethod& caller, uint32_t dex_pc,
+                            rt::RtMethod& target) override;
+
+  // Finalizes any dangling activations and returns the collection output.
+  CollectionOutput take_output();
+  const CollectionOutput& output() const { return output_; }
+
+ private:
+  struct Activation {
+    MethodKey key;
+    std::unique_ptr<TreeNode> root;
+    TreeNode* current = nullptr;
+    bool bytecode = false;  // native/abstract activations collect nothing
+  };
+
+  MethodRecord& record_for(rt::RtMethod& method);
+  void finish_activation(Activation& act);
+  static MethodKey key_of(const rt::RtMethod& method);
+
+  Options options_;
+  CollectionOutput output_;
+  std::vector<Activation> stack_;
+  std::set<std::string> seen_classes_;
+};
+
+// Builds the symbolic form of the pool operand of the instruction at `pc`
+// in `code`, resolved against the method's defining image. Returns nullopt
+// for instructions without pool operands. Exposed for tests.
+std::optional<SymRef> symbolic_ref(const rt::RtMethod& method,
+                                   std::span<const uint16_t> code, size_t pc);
+
+}  // namespace dexlego::core

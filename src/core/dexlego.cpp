@@ -1,0 +1,65 @@
+#include "src/core/dexlego.h"
+
+#include "src/bytecode/verify_code.h"
+#include "src/dex/io.h"
+#include "src/support/log.h"
+
+namespace dexlego::core {
+
+void default_driver(rt::Runtime& rt, int run_index) {
+  (void)run_index;
+  rt::ExecOutcome out = rt.launch();
+  if (!out.completed) {
+    DL_INFO << "launch did not complete: " << out.abort_reason
+            << out.exception_type;
+  }
+  for (int id : rt.ui_clickable_ids()) rt.fire_click(id);
+  rt.call_activity_method("onPause");
+  rt.call_activity_method("onDestroy");
+}
+
+RevealResult DexLego::reveal(const dex::Apk& apk) {
+  Collector collector(options_.collector);
+  for (int run = 0; run < options_.runs; ++run) {
+    rt::Runtime runtime(options_.runtime);
+    if (options_.configure_runtime) options_.configure_runtime(runtime);
+    runtime.add_hooks(&collector);
+    runtime.install(apk);
+    if (options_.driver) {
+      options_.driver(runtime, run);
+    } else {
+      default_driver(runtime, run);
+    }
+    runtime.remove_hooks(&collector);
+  }
+
+  CollectionOutput output = collector.take_output();
+  CollectionFiles files = encode_collection(output);
+  RevealResult result = reassemble_files(files, apk, options_.reassemble);
+  return result;
+}
+
+RevealResult DexLego::reassemble_files(const CollectionFiles& files,
+                                       const dex::Apk& original,
+                                       const ReassembleOptions& options) {
+  RevealResult result;
+  result.files = files;
+  result.collection = decode_collection(files);
+  ReassembleResult ra = reassemble(result.collection, options);
+  result.stats = ra.stats;
+
+  dex::VerifyResult verify = bc::verify_dex(ra.file);
+  result.verified = verify.ok();
+  result.verify_errors = verify.message();
+  if (!result.verified) {
+    DL_WARN << "reassembled DEX failed verification:\n" << result.verify_errors;
+  }
+
+  // Replace the DEX inside the original APK (paper: "we leverage the Android
+  // Asset Packaging Tool ... to replace the DEX file in the original APK").
+  result.revealed_apk = original;
+  result.revealed_apk.set_classes(dex::write_dex(ra.file));
+  return result;
+}
+
+}  // namespace dexlego::core

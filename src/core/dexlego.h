@@ -1,0 +1,64 @@
+// DexLego end-to-end pipeline (paper Fig. 1): execute the target APK inside
+// the instrumented runtime (just-in-time collection), optionally under a
+// caller-provided driver (fuzzer, force execution, simple launch), then
+// reassemble the collection files into a new DEX and splice it back into the
+// original APK. The revealed APK is what gets handed to static analysis.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "src/core/collector.h"
+#include "src/core/files.h"
+#include "src/core/reassembler.h"
+#include "src/dex/archive.h"
+#include "src/runtime/runtime.h"
+
+namespace dexlego::core {
+
+struct DexLegoOptions {
+  Collector::Options collector;
+  ReassembleOptions reassemble;
+  rt::RuntimeConfig runtime;
+  // Called on each fresh runtime before execution — registers the sample's
+  // native methods (JNI analog) and any packer natives.
+  std::function<void(rt::Runtime&)> configure_runtime;
+  // Exercises the app. Default: launch + fire every registered click handler.
+  // Called once per run; `run_index` supports multi-run drivers.
+  std::function<void(rt::Runtime&, int run_index)> driver;
+  int runs = 1;  // fresh runtime per run; trees accumulate across runs
+};
+
+struct RevealResult {
+  dex::Apk revealed_apk;          // original APK with the DEX replaced
+  CollectionFiles files;          // the five collection files (Table VI sizes)
+  ReassembleStats stats;
+  CollectionOutput collection;    // decoded form, for inspection
+  bool verified = false;          // reassembled DEX passed the full verifier
+  std::string verify_errors;
+};
+
+class DexLego {
+ public:
+  explicit DexLego(DexLegoOptions options = {}) : options_(std::move(options)) {}
+
+  // Runs collection + reassembling on the APK. The collection phase is
+  // online (instrumented execution); reassembling is offline (works only on
+  // the collection files, mirroring the paper's split).
+  RevealResult reveal(const dex::Apk& apk);
+
+  // Offline half only: collection files -> revealed APK (manifest and assets
+  // copied from `original`).
+  static RevealResult reassemble_files(const CollectionFiles& files,
+                                       const dex::Apk& original,
+                                       const ReassembleOptions& options = {});
+
+ private:
+  DexLegoOptions options_;
+};
+
+// The default driver: launch the entry activity, then fire every click
+// handler once, then the remaining lifecycle callbacks.
+void default_driver(rt::Runtime& rt, int run_index);
+
+}  // namespace dexlego::core

@@ -1,0 +1,346 @@
+#include "src/core/files.h"
+
+#include <filesystem>
+
+#include "src/support/bytes.h"
+
+namespace dexlego::core {
+
+using support::ByteReader;
+using support::ByteWriter;
+
+namespace {
+
+void write_sym_ref(ByteWriter& w, const SymRef& ref) {
+  w.u8(static_cast<uint8_t>(ref.kind));
+  w.u32(static_cast<uint32_t>(ref.parts.size()));
+  for (const std::string& p : ref.parts) w.str(p);
+}
+
+SymRef read_sym_ref(ByteReader& r) {
+  SymRef ref;
+  ref.kind = static_cast<bc::RefKind>(r.u8());
+  uint32_t n = r.u32();
+  ref.parts.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) ref.parts.push_back(r.str());
+  return ref;
+}
+
+void write_tree(ByteWriter& w, const TreeNode& node) {
+  w.u32(static_cast<uint32_t>(node.il.size()));
+  for (const ILEntry& e : node.il) {
+    w.u16(e.pc);
+    w.u16(static_cast<uint16_t>(e.units.size()));
+    for (uint16_t u : e.units) w.u16(u);
+    w.u8(e.ref ? 1 : 0);
+    if (e.ref) write_sym_ref(w, *e.ref);
+    w.u8(e.switch_payload ? 1 : 0);
+    if (e.switch_payload) {
+      w.i32(e.switch_payload->first_key);
+      w.u16(static_cast<uint16_t>(e.switch_payload->target_pcs.size()));
+      for (uint16_t t : e.switch_payload->target_pcs) w.u16(t);
+    }
+  }
+  w.u16(node.sm_start);
+  w.u8(node.sm_end ? 1 : 0);
+  if (node.sm_end) w.u16(*node.sm_end);
+  w.u32(static_cast<uint32_t>(node.children.size()));
+  for (const auto& child : node.children) write_tree(w, *child);
+}
+
+std::unique_ptr<TreeNode> read_tree(ByteReader& r, TreeNode* parent) {
+  auto node = std::make_unique<TreeNode>();
+  node->parent = parent;
+  uint32_t n_il = r.u32();
+  node->il.reserve(n_il);
+  for (uint32_t i = 0; i < n_il; ++i) {
+    ILEntry e;
+    e.pc = r.u16();
+    uint16_t n_units = r.u16();
+    e.units.reserve(n_units);
+    for (uint16_t j = 0; j < n_units; ++j) e.units.push_back(r.u16());
+    if (r.u8()) e.ref = read_sym_ref(r);
+    if (r.u8()) {
+      SwitchSnapshot snap;
+      snap.first_key = r.i32();
+      uint16_t n_targets = r.u16();
+      for (uint16_t k = 0; k < n_targets; ++k) snap.target_pcs.push_back(r.u16());
+      e.switch_payload = std::move(snap);
+    }
+    node->iim.emplace(e.pc, node->il.size());
+    node->il.push_back(std::move(e));
+  }
+  node->sm_start = r.u16();
+  if (r.u8()) node->sm_end = r.u16();
+  uint32_t n_children = r.u32();
+  for (uint32_t i = 0; i < n_children; ++i) {
+    node->children.push_back(read_tree(r, node.get()));
+  }
+  return node;
+}
+
+void write_value(ByteWriter& w, const CollectedValue& v) {
+  w.u8(static_cast<uint8_t>(v.kind));
+  w.i64(v.i);
+  w.str(v.s);
+}
+
+CollectedValue read_value(ByteReader& r) {
+  CollectedValue v;
+  v.kind = static_cast<CollectedValue::Kind>(r.u8());
+  v.i = r.i64();
+  v.s = r.str();
+  return v;
+}
+
+void write_key(ByteWriter& w, const MethodKey& key) {
+  w.str(key.class_descriptor);
+  w.str(key.name);
+  w.str(key.shorty);
+}
+
+MethodKey read_key(ByteReader& r) {
+  MethodKey key;
+  key.class_descriptor = r.str();
+  key.name = r.str();
+  key.shorty = r.str();
+  return key;
+}
+
+}  // namespace
+
+CollectionFiles encode_collection(const CollectionOutput& output) {
+  CollectionFiles files;
+
+  {  // class data file: descriptor, super, flags
+    ByteWriter w;
+    w.u32(static_cast<uint32_t>(output.classes.size()));
+    for (const CollectedClass& c : output.classes) {
+      w.str(c.descriptor);
+      w.str(c.super_descriptor);
+      w.u32(c.access_flags);
+    }
+    files.class_data = w.take();
+  }
+  {  // field data file: per class, instance + static field declarations
+    ByteWriter w;
+    w.u32(static_cast<uint32_t>(output.classes.size()));
+    for (const CollectedClass& c : output.classes) {
+      w.str(c.descriptor);
+      w.u32(static_cast<uint32_t>(c.instance_fields.size()));
+      for (const CollectedField& f : c.instance_fields) {
+        w.str(f.name);
+        w.str(f.type_descriptor);
+        w.u32(f.access_flags);
+      }
+      w.u32(static_cast<uint32_t>(c.static_fields.size()));
+      for (const CollectedField& f : c.static_fields) {
+        w.str(f.name);
+        w.str(f.type_descriptor);
+        w.u32(f.access_flags);
+      }
+    }
+    files.field_data = w.take();
+  }
+  {  // static values file
+    ByteWriter w;
+    w.u32(static_cast<uint32_t>(output.classes.size()));
+    for (const CollectedClass& c : output.classes) {
+      w.str(c.descriptor);
+      w.u32(static_cast<uint32_t>(c.static_fields.size()));
+      for (const CollectedField& f : c.static_fields) {
+        w.str(f.name);
+        write_value(w, f.static_value);
+      }
+    }
+    files.static_values = w.take();
+  }
+  {  // method data file: signatures, frames, tries, lines, reflection
+    ByteWriter w;
+    w.u32(static_cast<uint32_t>(output.methods.size()));
+    for (const auto& [key, rec] : output.methods) {
+      write_key(w, key);
+      w.u32(rec.access_flags);
+      w.u16(rec.registers_size);
+      w.u16(rec.ins_size);
+      w.str(rec.return_type);
+      w.u32(static_cast<uint32_t>(rec.param_types.size()));
+      for (const std::string& p : rec.param_types) w.str(p);
+      w.u8(rec.is_native ? 1 : 0);
+      w.u64(rec.executions);
+      w.u64(rec.dropped_trees);
+      w.u32(static_cast<uint32_t>(rec.tries.size()));
+      for (const dex::TryItem& t : rec.tries) {
+        w.u16(t.start_pc);
+        w.u16(t.end_pc);
+        w.u16(t.handler_pc);
+      }
+      w.u32(static_cast<uint32_t>(rec.lines.size()));
+      for (const dex::LineEntry& e : rec.lines) {
+        w.u16(e.pc);
+        w.u32(e.line);
+      }
+      w.u32(static_cast<uint32_t>(rec.reflection_targets.size()));
+      for (const auto& [pc, ref] : rec.reflection_targets) {
+        w.u16(pc);
+        write_sym_ref(w, ref);
+      }
+    }
+    files.method_data = w.take();
+  }
+  {  // bytecode file: collection trees per method
+    ByteWriter w;
+    w.u64(output.total_instructions_observed);
+    w.u64(output.divergences_detected);
+    w.u64(output.reflection_sites);
+    w.u32(static_cast<uint32_t>(output.methods.size()));
+    for (const auto& [key, rec] : output.methods) {
+      write_key(w, key);
+      w.u32(static_cast<uint32_t>(rec.trees.size()));
+      for (const auto& tree : rec.trees) write_tree(w, *tree);
+    }
+    files.bytecode = w.take();
+  }
+  return files;
+}
+
+CollectionOutput decode_collection(const CollectionFiles& files) {
+  CollectionOutput out;
+
+  {
+    ByteReader r(files.class_data);
+    uint32_t n = r.u32();
+    out.classes.resize(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      out.classes[i].descriptor = r.str();
+      out.classes[i].super_descriptor = r.str();
+      out.classes[i].access_flags = r.u32();
+    }
+  }
+  {
+    ByteReader r(files.field_data);
+    uint32_t n = r.u32();
+    for (uint32_t i = 0; i < n; ++i) {
+      std::string descriptor = r.str();
+      CollectedClass* cls = nullptr;
+      for (CollectedClass& c : out.classes) {
+        if (c.descriptor == descriptor) cls = &c;
+      }
+      uint32_t n_inst = r.u32();
+      for (uint32_t j = 0; j < n_inst; ++j) {
+        CollectedField f;
+        f.name = r.str();
+        f.type_descriptor = r.str();
+        f.access_flags = r.u32();
+        if (cls != nullptr) cls->instance_fields.push_back(std::move(f));
+      }
+      uint32_t n_stat = r.u32();
+      for (uint32_t j = 0; j < n_stat; ++j) {
+        CollectedField f;
+        f.name = r.str();
+        f.type_descriptor = r.str();
+        f.access_flags = r.u32();
+        if (cls != nullptr) cls->static_fields.push_back(std::move(f));
+      }
+    }
+  }
+  {
+    ByteReader r(files.static_values);
+    uint32_t n = r.u32();
+    for (uint32_t i = 0; i < n; ++i) {
+      std::string descriptor = r.str();
+      CollectedClass* cls = nullptr;
+      for (CollectedClass& c : out.classes) {
+        if (c.descriptor == descriptor) cls = &c;
+      }
+      uint32_t n_vals = r.u32();
+      for (uint32_t j = 0; j < n_vals; ++j) {
+        std::string name = r.str();
+        CollectedValue v = read_value(r);
+        if (cls != nullptr) {
+          for (CollectedField& f : cls->static_fields) {
+            if (f.name == name) f.static_value = v;
+          }
+        }
+      }
+    }
+  }
+  {
+    ByteReader r(files.method_data);
+    uint32_t n = r.u32();
+    for (uint32_t i = 0; i < n; ++i) {
+      MethodKey key = read_key(r);
+      MethodRecord rec;
+      rec.key = key;
+      rec.access_flags = r.u32();
+      rec.registers_size = r.u16();
+      rec.ins_size = r.u16();
+      rec.return_type = r.str();
+      uint32_t n_params = r.u32();
+      for (uint32_t j = 0; j < n_params; ++j) rec.param_types.push_back(r.str());
+      rec.is_native = r.u8() != 0;
+      rec.executions = r.u64();
+      rec.dropped_trees = r.u64();
+      uint32_t n_tries = r.u32();
+      for (uint32_t j = 0; j < n_tries; ++j) {
+        dex::TryItem t;
+        t.start_pc = r.u16();
+        t.end_pc = r.u16();
+        t.handler_pc = r.u16();
+        rec.tries.push_back(t);
+      }
+      uint32_t n_lines = r.u32();
+      for (uint32_t j = 0; j < n_lines; ++j) {
+        dex::LineEntry e;
+        e.pc = r.u16();
+        e.line = r.u32();
+        rec.lines.push_back(e);
+      }
+      uint32_t n_refl = r.u32();
+      for (uint32_t j = 0; j < n_refl; ++j) {
+        uint16_t pc = r.u16();
+        rec.reflection_targets.emplace(pc, read_sym_ref(r));
+      }
+      out.methods.emplace(std::move(key), std::move(rec));
+    }
+  }
+  {
+    ByteReader r(files.bytecode);
+    out.total_instructions_observed = r.u64();
+    out.divergences_detected = r.u64();
+    out.reflection_sites = r.u64();
+    uint32_t n = r.u32();
+    for (uint32_t i = 0; i < n; ++i) {
+      MethodKey key = read_key(r);
+      uint32_t n_trees = r.u32();
+      auto it = out.methods.find(key);
+      for (uint32_t j = 0; j < n_trees; ++j) {
+        auto tree = read_tree(r, nullptr);
+        if (it != out.methods.end()) it->second.trees.push_back(std::move(tree));
+      }
+    }
+  }
+  return out;
+}
+
+void CollectionFiles::save(const std::string& dir) const {
+  namespace fs = std::filesystem;
+  fs::create_directories(dir);
+  support::write_file(dir + "/class_data.bin", class_data);
+  support::write_file(dir + "/field_data.bin", field_data);
+  support::write_file(dir + "/static_values.bin", static_values);
+  support::write_file(dir + "/method_data.bin", method_data);
+  support::write_file(dir + "/bytecode.bin", bytecode);
+}
+
+CollectionFiles CollectionFiles::load(const std::string& dir) {
+  CollectionFiles files;
+  files.class_data = support::read_file(dir + "/class_data.bin");
+  files.field_data = support::read_file(dir + "/field_data.bin");
+  files.static_values = support::read_file(dir + "/static_values.bin");
+  files.method_data = support::read_file(dir + "/method_data.bin");
+  files.bytecode = support::read_file(dir + "/bytecode.bin");
+  return files;
+}
+
+}  // namespace dexlego::core

@@ -1,0 +1,39 @@
+// Serialization of the collection output into the five collection files of
+// paper Fig. 2 (class data, field data, static values, method data,
+// bytecode). The files are the interface between the online collection phase
+// and the *offline* reassembling phase; their combined size is the
+// "Dump File Size" column of Table VI.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/collection.h"
+
+namespace dexlego::core {
+
+struct CollectionFiles {
+  std::vector<uint8_t> class_data;
+  std::vector<uint8_t> field_data;
+  std::vector<uint8_t> static_values;
+  std::vector<uint8_t> method_data;
+  std::vector<uint8_t> bytecode;
+
+  size_t total_size() const {
+    return class_data.size() + field_data.size() + static_values.size() +
+           method_data.size() + bytecode.size();
+  }
+
+  // Writes the five files into `dir` with their canonical names; loads back.
+  void save(const std::string& dir) const;
+  static CollectionFiles load(const std::string& dir);
+};
+
+// Round-trippable encoding: decode(encode(x)) preserves every field the
+// reassembler consumes (property-tested).
+CollectionFiles encode_collection(const CollectionOutput& output);
+CollectionOutput decode_collection(const CollectionFiles& files);
+
+}  // namespace dexlego::core

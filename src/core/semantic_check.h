@@ -1,0 +1,30 @@
+// Semantic containment check used by the Table I experiment: verifies that
+// every instruction (opcode + symbolic operand) of the original program is
+// included in the reassembled result, per method. Branch offsets are layout-
+// dependent and excluded; control-flow preservation is checked by comparing
+// branch-instruction counts and is additionally covered by the verifier and
+// the behavioural tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/dex/dex.h"
+
+namespace dexlego::core {
+
+struct ContainmentReport {
+  bool ok = false;
+  size_t methods_checked = 0;
+  std::vector<std::string> missing;  // "method: token" diagnostics
+
+  std::string summary() const;
+};
+
+// Checks that `revealed` contains every instruction of every concrete method
+// of `original` (methods are matched by class+name+shorty; method variants
+// name$vK in `revealed` are credited to their base method).
+ContainmentReport check_containment(const dex::DexFile& original,
+                                    const dex::DexFile& revealed);
+
+}  // namespace dexlego::core

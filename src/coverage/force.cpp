@@ -1,0 +1,168 @@
+#include "src/coverage/force.h"
+
+#include <deque>
+#include <set>
+
+#include "src/bytecode/insn.h"
+#include "src/dex/io.h"
+#include "src/support/bytes.h"
+
+namespace dexlego::coverage {
+
+void ForcePlan::set(const std::string& method_key, uint32_t pc, bool outcome) {
+  outcomes_[{method_key, pc}] = outcome;
+}
+
+const bool* ForcePlan::find(const std::string& method_key, uint32_t pc) const {
+  auto it = outcomes_.find({method_key, pc});
+  return it == outcomes_.end() ? nullptr : &it->second;
+}
+
+std::vector<uint8_t> ForcePlan::serialize() const {
+  support::ByteWriter w;
+  w.u32(static_cast<uint32_t>(outcomes_.size()));
+  for (const auto& [key, outcome] : outcomes_) {
+    w.str(key.first);
+    w.u32(key.second);
+    w.u8(outcome ? 1 : 0);
+  }
+  return w.take();
+}
+
+ForcePlan ForcePlan::deserialize(std::span<const uint8_t> data) {
+  support::ByteReader r(data);
+  ForcePlan plan;
+  uint32_t n = r.u32();
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string key = r.str();
+    uint32_t pc = r.u32();
+    plan.outcomes_[{key, pc}] = r.u8() != 0;
+  }
+  return plan;
+}
+
+bool ForceHooks::force_branch(rt::RtMethod& method, uint32_t dex_pc,
+                              bool* outcome) {
+  const bool* planned = plan_.find(CoverageTracker::method_key(method), dex_pc);
+  if (planned == nullptr) return false;
+  *outcome = *planned;
+  ++forced_;
+  return true;
+}
+
+bool ForceHooks::tolerate_exception(rt::RtMethod& method, uint32_t dex_pc) {
+  (void)method, (void)dex_pc;
+  if (tolerated_ >= tolerate_cap_) return false;
+  ++tolerated_;
+  return true;
+}
+
+bool compute_path(const dex::CodeItem& code, const std::string& method_key,
+                  uint32_t ucb_pc, bool outcome, ForcePlan& plan) {
+  std::span<const uint16_t> insns(code.insns);
+  // BFS over pcs; edges annotated with the branch decision that selects them.
+  struct Edge {
+    size_t from = SIZE_MAX;
+    int decision = -1;  // -1: unconditional, 0: branch not taken, 1: taken
+  };
+  std::map<size_t, Edge> parent;
+  std::deque<size_t> queue;
+  parent[0] = Edge{};
+  queue.push_back(0);
+  bool found = false;
+  while (!queue.empty()) {
+    size_t pc = queue.front();
+    queue.pop_front();
+    if (pc == ucb_pc) {
+      found = true;
+      break;
+    }
+    bc::Insn insn;
+    try {
+      insn = bc::decode_at(insns, pc);
+    } catch (const support::ParseError&) {
+      continue;
+    }
+    auto visit = [&](size_t next, int decision) {
+      if (next >= insns.size() || parent.contains(next)) return;
+      parent[next] = Edge{pc, decision};
+      queue.push_back(next);
+    };
+    if (bc::is_conditional_branch(insn.op)) {
+      visit(pc + insn.width, 0);
+      visit(pc + static_cast<size_t>(insn.off), 1);
+    } else {
+      try {
+        for (size_t next : bc::successors_at(insns, pc)) visit(next, -1);
+      } catch (const support::ParseError&) {
+      }
+    }
+  }
+  if (!found) return false;
+
+  // Walk back collecting branch decisions along the path.
+  size_t pc = ucb_pc;
+  while (pc != 0) {
+    const Edge& edge = parent.at(pc);
+    if (edge.decision >= 0) {
+      plan.set(method_key, static_cast<uint32_t>(edge.from), edge.decision == 1);
+    }
+    pc = edge.from;
+  }
+  plan.set(method_key, ucb_pc, outcome);
+  return true;
+}
+
+ForceResult force_execute(const dex::Apk& apk, const ForceOptions& options,
+                          const CoverageTracker& seed) {
+  dex::DexFile app = dex::read_dex(apk.classes());
+  // Static index: method key -> code item.
+  std::map<std::string, const dex::CodeItem*> code_of;
+  for (const dex::ClassDef& cls : app.classes) {
+    for (const auto* methods : {&cls.direct_methods, &cls.virtual_methods}) {
+      for (const dex::MethodDef& m : *methods) {
+        if (m.code) {
+          code_of[CoverageTracker::method_key(app, m.method_ref)] = &*m.code;
+        }
+      }
+    }
+  }
+
+  ForceResult result;
+  result.coverage.merge(seed);
+  std::set<std::tuple<std::string, uint32_t, bool>> attempted;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Branch analysis: find new UCBs in the accumulated coverage.
+    ForcePlan plan;
+    size_t targeted = 0;
+    for (const auto& [key, code] : code_of) {
+      const auto* branch_map = result.coverage.branches(key);
+      if (branch_map == nullptr) continue;
+      for (const auto& [pc, seen] : *branch_map) {
+        if (seen.taken && seen.untaken) continue;
+        bool want = !seen.taken;  // the unseen side
+        auto attempt = std::make_tuple(key, pc, want);
+        if (attempted.contains(attempt)) continue;
+        if (compute_path(*code, key, pc, want, plan)) {
+          attempted.insert(attempt);
+          ++targeted;
+          break;  // one UCB per method per iteration
+        }
+        attempted.insert(attempt);
+      }
+    }
+    if (targeted == 0) break;  // no new UCB: terminate (paper Fig. 4)
+    result.ucbs_targeted += targeted;
+    ++result.iterations;
+
+    // Next execution follows the path files.
+    ForceHooks hooks(plan);
+    FuzzOptions run = options.run;
+    run.extra_hooks.push_back(&hooks);
+    execute_sequence(apk, options.seed_sequence, run, result.coverage);
+  }
+  return result;
+}
+
+}  // namespace dexlego::coverage

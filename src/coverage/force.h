@@ -1,0 +1,86 @@
+// Force execution (paper Section IV-E, Fig. 4) — the first force-execution
+// prototype "on Android". Iteratively:
+//   1. branch analysis identifies Uncovered Conditional Branches (UCBs) in
+//      the accumulated coverage of previous executions,
+//   2. path analysis computes, per UCB, the chain of branch outcomes that
+//      steers control flow from the method entry to the UCB,
+//   3. the paths are written to path files which drive the next execution:
+//      the interpreter's force_branch hook overrides the corresponding
+//      conditional outcomes, and unhandled exceptions raised on infeasible
+//      paths are tolerated by clearing them.
+// Iteration stops when no new UCB appears.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/coverage/fuzzer.h"
+#include "src/coverage/tracker.h"
+#include "src/dex/archive.h"
+#include "src/runtime/hooks.h"
+
+namespace dexlego::coverage {
+
+// A set of forced branch outcomes ("path file" content): one decision per
+// (method, branch pc).
+class ForcePlan {
+ public:
+  void set(const std::string& method_key, uint32_t pc, bool outcome);
+  const bool* find(const std::string& method_key, uint32_t pc) const;
+  size_t size() const { return outcomes_.size(); }
+
+  // Path-file round trip (the paper stores paths in files between runs).
+  std::vector<uint8_t> serialize() const;
+  static ForcePlan deserialize(std::span<const uint8_t> data);
+
+ private:
+  std::map<std::pair<std::string, uint32_t>, bool> outcomes_;
+};
+
+// Runtime hooks applying a ForcePlan: overrides the planned branches and
+// clears unhandled exceptions (bounded per run to avoid pathological loops).
+class ForceHooks : public rt::RuntimeHooks {
+ public:
+  explicit ForceHooks(const ForcePlan& plan, size_t tolerate_cap = 4096)
+      : plan_(plan), tolerate_cap_(tolerate_cap) {}
+
+  bool force_branch(rt::RtMethod& method, uint32_t dex_pc, bool* outcome) override;
+  bool tolerate_exception(rt::RtMethod& method, uint32_t dex_pc) override;
+
+  size_t forced() const { return forced_; }
+  size_t tolerated() const { return tolerated_; }
+
+ private:
+  const ForcePlan& plan_;
+  size_t tolerate_cap_;
+  size_t forced_ = 0;
+  size_t tolerated_ = 0;
+};
+
+struct ForceOptions {
+  int max_iterations = 64;
+  FuzzOptions run;             // runtime config + natives for each forced run
+  EventSequence seed_sequence; // inputs/clicks driving each forced run
+};
+
+struct ForceResult {
+  CoverageTracker coverage;  // seed coverage + everything force reached
+  int iterations = 0;
+  size_t ucbs_targeted = 0;
+};
+
+// Computes the branch decisions steering execution from the method entry to
+// `ucb_pc`, then forces `outcome` at the UCB itself. Returns false when no
+// static path exists. Exposed for tests.
+bool compute_path(const dex::CodeItem& code, const std::string& method_key,
+                  uint32_t ucb_pc, bool outcome, ForcePlan& plan);
+
+// Iterative force execution seeded with previous coverage (typically a fuzz
+// result, per the paper: "our force execution starts from the execution
+// result of the previous execution").
+ForceResult force_execute(const dex::Apk& apk, const ForceOptions& options,
+                          const CoverageTracker& seed);
+
+}  // namespace dexlego::coverage

@@ -1,0 +1,55 @@
+// Sapienz-analog UI fuzzer: evolves event sequences (text inputs + click
+// orders + lifecycle cycles) against a coverage fitness function. Used as
+// the input generator for the DroidBench runs (paper V-B) and as the
+// baseline of the force-execution coverage experiment (Table VII).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/coverage/tracker.h"
+#include "src/dex/archive.h"
+#include "src/runtime/runtime.h"
+#include "src/support/rng.h"
+
+namespace dexlego::coverage {
+
+struct FuzzOptions {
+  int generations = 4;
+  int population = 6;
+  int max_clicks = 8;
+  uint64_t seed = 0x5a11e42;
+  uint64_t steps_per_run = 5'000'000;
+  std::function<void(rt::Runtime&)> configure_runtime;
+  // Extra hooks attached to every run (e.g. a DexLego collector).
+  std::vector<rt::RuntimeHooks*> extra_hooks;
+};
+
+// One individual: the inputs and the event schedule of a run.
+struct EventSequence {
+  std::map<int, std::string> text_inputs;  // view id -> text
+  std::vector<int> click_rounds;           // how many click passes
+  int lifecycle_cycles = 1;                // onPause/onResume repetitions
+
+  static EventSequence random(support::Rng& rng, int max_clicks);
+  EventSequence mutate(support::Rng& rng) const;
+  static EventSequence crossover(const EventSequence& a, const EventSequence& b,
+                                 support::Rng& rng);
+};
+
+struct FuzzResult {
+  CoverageTracker coverage;  // accumulated over every executed individual
+  size_t runs = 0;
+  EventSequence best;
+  double best_fitness = 0.0;
+};
+
+// Executes one event sequence against a fresh runtime.
+void execute_sequence(const dex::Apk& apk, const EventSequence& seq,
+                      const FuzzOptions& options, CoverageTracker& tracker);
+
+FuzzResult fuzz_app(const dex::Apk& apk, const FuzzOptions& options);
+
+}  // namespace dexlego::coverage

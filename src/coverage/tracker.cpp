@@ -1,0 +1,131 @@
+#include "src/coverage/tracker.h"
+
+#include "src/bytecode/insn.h"
+#include "src/support/bytes.h"
+
+namespace dexlego::coverage {
+
+std::string CoverageTracker::method_key(const rt::RtMethod& method) {
+  return (method.declaring != nullptr ? method.declaring->descriptor : "?") +
+         "->" + method.name + method.shorty;
+}
+
+std::string CoverageTracker::method_key(const dex::DexFile& file,
+                                        uint32_t method_ref) {
+  const dex::MethodRef& ref = file.methods.at(method_ref);
+  return file.type_descriptor(ref.class_type) + "->" + file.string_at(ref.name) +
+         file.proto_shorty(ref.proto);
+}
+
+void CoverageTracker::on_instruction(rt::RtMethod& method, uint32_t dex_pc,
+                                     std::span<const uint16_t> code) {
+  (void)code;
+  pcs_[method_key(method)].insert(dex_pc);
+}
+
+void CoverageTracker::on_branch(rt::RtMethod& method, uint32_t dex_pc,
+                                bool taken) {
+  BranchSeen& seen = branches_[method_key(method)][dex_pc];
+  if (taken) {
+    seen.taken = true;
+  } else {
+    seen.untaken = true;
+  }
+}
+
+const std::set<uint32_t>* CoverageTracker::executed_pcs(
+    const std::string& key) const {
+  auto it = pcs_.find(key);
+  return it == pcs_.end() ? nullptr : &it->second;
+}
+
+const std::map<uint32_t, CoverageTracker::BranchSeen>* CoverageTracker::branches(
+    const std::string& key) const {
+  auto it = branches_.find(key);
+  return it == branches_.end() ? nullptr : &it->second;
+}
+
+void CoverageTracker::merge(const CoverageTracker& other) {
+  for (const auto& [key, pcs] : other.pcs_) pcs_[key].insert(pcs.begin(), pcs.end());
+  for (const auto& [key, branch_map] : other.branches_) {
+    for (const auto& [pc, seen] : branch_map) {
+      BranchSeen& mine = branches_[key][pc];
+      mine.taken |= seen.taken;
+      mine.untaken |= seen.untaken;
+    }
+  }
+}
+
+CoverageTracker::Report CoverageTracker::report(const dex::DexFile& app) const {
+  Report report;
+  for (const dex::ClassDef& cls : app.classes) {
+    bool class_covered = false;
+    bool class_has_code = false;
+    for (const auto* methods : {&cls.direct_methods, &cls.virtual_methods}) {
+      for (const dex::MethodDef& m : *methods) {
+        if (!m.code) continue;
+        class_has_code = true;
+        ++report.methods_total;
+        std::string key = method_key(app, m.method_ref);
+        const std::set<uint32_t>* executed = executed_pcs(key);
+        if (executed != nullptr && !executed->empty()) {
+          ++report.methods_covered;
+          class_covered = true;
+        }
+
+        // Instructions and branch sides from the static code.
+        std::span<const uint16_t> insns(m.code->insns);
+        std::set<uint32_t> lines_hit;
+        std::set<uint32_t> lines_all;
+        auto line_of = [&](uint16_t pc) -> uint32_t {
+          uint32_t line = 0;
+          for (const dex::LineEntry& e : m.code->lines) {
+            if (e.pc <= pc) line = e.line;
+          }
+          return line;
+        };
+        size_t pc = 0;
+        while (pc < insns.size()) {
+          bc::Insn insn;
+          try {
+            insn = bc::decode_at(insns, pc);
+          } catch (const support::ParseError&) {
+            break;
+          }
+          if (insn.op != bc::Op::kPayload) {
+            ++report.instructions_total;
+            uint32_t line = line_of(static_cast<uint16_t>(pc));
+            if (line != 0) lines_all.insert(line);
+            bool hit = executed != nullptr &&
+                       executed->contains(static_cast<uint32_t>(pc));
+            if (hit) {
+              ++report.instructions_covered;
+              if (line != 0) lines_hit.insert(line);
+            }
+            if (bc::is_conditional_branch(insn.op)) {
+              report.branches_total += 2;
+              const auto* branch_map = branches(key);
+              if (branch_map != nullptr) {
+                auto bit = branch_map->find(static_cast<uint32_t>(pc));
+                if (bit != branch_map->end()) {
+                  report.branches_covered += (bit->second.taken ? 1 : 0) +
+                                             (bit->second.untaken ? 1 : 0);
+                }
+              }
+            }
+          }
+          pc += insn.width;
+        }
+        report.lines_total += lines_all.size();
+        report.lines_covered += lines_hit.size();
+      }
+    }
+    if (class_has_code) {
+      ++report.classes_total;
+      if (class_covered) ++report.classes_covered;
+    }
+  }
+  return report;
+}
+
+}  // namespace dexlego::coverage

@@ -1,0 +1,66 @@
+// JaCoCo-analog coverage tracker (Table VII granularities: class / method /
+// line / branch / instruction). A RuntimeHooks implementation that records
+// executed pcs and branch outcomes per method identity, then scores them
+// against the app's static totals.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/dex/dex.h"
+#include "src/runtime/hooks.h"
+
+namespace dexlego::coverage {
+
+class CoverageTracker : public rt::RuntimeHooks {
+ public:
+  void on_instruction(rt::RtMethod& method, uint32_t dex_pc,
+                      std::span<const uint16_t> code) override;
+  void on_branch(rt::RtMethod& method, uint32_t dex_pc, bool taken) override;
+
+  struct Report {
+    size_t classes_total = 0, classes_covered = 0;
+    size_t methods_total = 0, methods_covered = 0;
+    size_t lines_total = 0, lines_covered = 0;
+    size_t branches_total = 0, branches_covered = 0;  // branch *sides*
+    size_t instructions_total = 0, instructions_covered = 0;
+
+    double class_pct() const { return ratio(classes_covered, classes_total); }
+    double method_pct() const { return ratio(methods_covered, methods_total); }
+    double line_pct() const { return ratio(lines_covered, lines_total); }
+    double branch_pct() const { return ratio(branches_covered, branches_total); }
+    double instruction_pct() const {
+      return ratio(instructions_covered, instructions_total);
+    }
+
+   private:
+    static double ratio(size_t a, size_t b) {
+      return b == 0 ? 0.0 : static_cast<double>(a) / static_cast<double>(b);
+    }
+  };
+
+  // Scores recorded coverage against the app's static structure.
+  Report report(const dex::DexFile& app) const;
+
+  // Executed pcs for a method ("class->name shorty" key); empty if never run.
+  const std::set<uint32_t>* executed_pcs(const std::string& key) const;
+  // Branch outcomes seen: pc -> {taken?, untaken?}.
+  struct BranchSeen {
+    bool taken = false;
+    bool untaken = false;
+  };
+  const std::map<uint32_t, BranchSeen>* branches(const std::string& key) const;
+
+  static std::string method_key(const rt::RtMethod& method);
+  static std::string method_key(const dex::DexFile& file, uint32_t method_ref);
+
+  // Merge another tracker's observations (fuzz + force accumulation).
+  void merge(const CoverageTracker& other);
+
+ private:
+  std::map<std::string, std::set<uint32_t>> pcs_;
+  std::map<std::string, std::map<uint32_t, BranchSeen>> branches_;
+};
+
+}  // namespace dexlego::coverage

@@ -1,0 +1,56 @@
+// .lapk — the APK-like container: a manifest, one or more LDEX files and
+// opaque asset blobs (where packers hide the encrypted original DEX).
+//
+// Binary layout: magic "LAPK" + u32 entry count, then per entry
+// name (length-prefixed) + blob (length-prefixed), then u32 adler32 of all
+// entry payloads.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dexlego::dex {
+
+// Parsed manifest (stored as the "manifest" entry in key=value lines).
+struct Manifest {
+  std::string package;       // e.g. "com.example.app"
+  std::string entry_class;   // descriptor of the launcher activity
+  std::string version;       // display version
+  std::vector<std::string> permissions;
+
+  std::string serialize() const;
+  static Manifest parse(std::span<const uint8_t> data);
+};
+
+class Apk {
+ public:
+  static constexpr const char* kClassesEntry = "classes.ldex";
+  static constexpr const char* kManifestEntry = "manifest";
+
+  void set_manifest(const Manifest& manifest);
+  Manifest manifest() const;
+
+  void set_entry(const std::string& name, std::vector<uint8_t> data);
+  bool has_entry(const std::string& name) const;
+  const std::vector<uint8_t>& entry(const std::string& name) const;
+  void remove_entry(const std::string& name);
+  std::vector<std::string> entry_names() const;
+
+  // Convenience: primary DEX payload.
+  void set_classes(std::vector<uint8_t> dex_bytes) {
+    set_entry(kClassesEntry, std::move(dex_bytes));
+  }
+  const std::vector<uint8_t>& classes() const { return entry(kClassesEntry); }
+
+  std::vector<uint8_t> write() const;
+  static Apk read(std::span<const uint8_t> data);
+
+ private:
+  std::map<std::string, std::vector<uint8_t>> entries_;
+};
+
+}  // namespace dexlego::dex

@@ -1,0 +1,180 @@
+#include "src/dex/builder.h"
+
+#include <stdexcept>
+
+namespace dexlego::dex {
+
+DexBuilder::DexBuilder() {
+  // Index 0 conventions keep generated files readable in hexdumps: the empty
+  // string and the Object descriptor always exist.
+  intern_string("");
+  intern_type("Ljava/lang/Object;");
+}
+
+uint32_t DexBuilder::intern_string(std::string_view s) {
+  auto it = string_map_.find(s);
+  if (it != string_map_.end()) return it->second;
+  uint32_t idx = static_cast<uint32_t>(file_.strings.size());
+  file_.strings.emplace_back(s);
+  string_map_.emplace(std::string(s), idx);
+  return idx;
+}
+
+uint32_t DexBuilder::intern_type(std::string_view descriptor) {
+  uint32_t str_idx = intern_string(descriptor);
+  auto it = type_map_.find(str_idx);
+  if (it != type_map_.end()) return it->second;
+  uint32_t idx = static_cast<uint32_t>(file_.types.size());
+  file_.types.push_back(str_idx);
+  type_map_.emplace(str_idx, idx);
+  return idx;
+}
+
+uint32_t DexBuilder::intern_proto(std::string_view return_type,
+                                  const std::vector<std::string>& param_types) {
+  Proto proto;
+  proto.return_type = intern_type(return_type);
+  proto.param_types.reserve(param_types.size());
+  for (const std::string& p : param_types) proto.param_types.push_back(intern_type(p));
+  auto key = std::make_pair(proto.return_type, proto.param_types);
+  auto it = proto_map_.find(key);
+  if (it != proto_map_.end()) return it->second;
+  uint32_t idx = static_cast<uint32_t>(file_.protos.size());
+  file_.protos.push_back(std::move(proto));
+  proto_map_.emplace(std::move(key), idx);
+  return idx;
+}
+
+uint32_t DexBuilder::intern_field(std::string_view class_descriptor,
+                                  std::string_view type_descriptor,
+                                  std::string_view name) {
+  FieldRef ref;
+  ref.class_type = intern_type(class_descriptor);
+  ref.type = intern_type(type_descriptor);
+  ref.name = intern_string(name);
+  auto key = std::make_tuple(ref.class_type, ref.type, ref.name);
+  auto it = field_map_.find(key);
+  if (it != field_map_.end()) return it->second;
+  uint32_t idx = static_cast<uint32_t>(file_.fields.size());
+  file_.fields.push_back(ref);
+  field_map_.emplace(key, idx);
+  return idx;
+}
+
+uint32_t DexBuilder::intern_method(std::string_view class_descriptor,
+                                   std::string_view name,
+                                   std::string_view return_type,
+                                   const std::vector<std::string>& param_types) {
+  MethodRef ref;
+  ref.class_type = intern_type(class_descriptor);
+  ref.proto = intern_proto(return_type, param_types);
+  ref.name = intern_string(name);
+  auto key = std::make_tuple(ref.class_type, ref.proto, ref.name);
+  auto it = method_map_.find(key);
+  if (it != method_map_.end()) return it->second;
+  uint32_t idx = static_cast<uint32_t>(file_.methods.size());
+  file_.methods.push_back(ref);
+  method_map_.emplace(key, idx);
+  return idx;
+}
+
+size_t DexBuilder::start_class(std::string_view descriptor,
+                               std::string_view super_descriptor,
+                               uint32_t access_flags) {
+  ClassDef cls;
+  cls.type_idx = intern_type(descriptor);
+  cls.super_type_idx = super_descriptor.empty() ? kNoIndex : intern_type(super_descriptor);
+  cls.access_flags = access_flags;
+  file_.classes.push_back(std::move(cls));
+  return file_.classes.size() - 1;
+}
+
+ClassDef& DexBuilder::current_class() {
+  if (file_.classes.empty()) throw std::logic_error("no class started");
+  return file_.classes.back();
+}
+
+void DexBuilder::add_static_field(std::string_view name, std::string_view type,
+                                  std::optional<EncodedValue> init,
+                                  uint32_t access_flags) {
+  ClassDef& cls = current_class();
+  FieldDef def;
+  def.field_ref = intern_field(file_.type_descriptor(cls.type_idx), type, name);
+  def.access_flags = access_flags | kAccStatic;
+  def.static_init = std::move(init);
+  cls.static_fields.push_back(std::move(def));
+}
+
+void DexBuilder::add_instance_field(std::string_view name, std::string_view type,
+                                    uint32_t access_flags) {
+  ClassDef& cls = current_class();
+  FieldDef def;
+  def.field_ref = intern_field(file_.type_descriptor(cls.type_idx), type, name);
+  def.access_flags = access_flags;
+  cls.instance_fields.push_back(std::move(def));
+}
+
+uint32_t DexBuilder::add_direct_method(std::string_view name,
+                                       std::string_view return_type,
+                                       const std::vector<std::string>& params,
+                                       CodeItem code, uint32_t access_flags) {
+  ClassDef& cls = current_class();
+  MethodDef def;
+  def.method_ref =
+      intern_method(file_.type_descriptor(cls.type_idx), name, return_type, params);
+  def.access_flags = access_flags;
+  def.code = std::move(code);
+  cls.direct_methods.push_back(std::move(def));
+  return cls.direct_methods.back().method_ref;
+}
+
+uint32_t DexBuilder::add_virtual_method(std::string_view name,
+                                        std::string_view return_type,
+                                        const std::vector<std::string>& params,
+                                        CodeItem code, uint32_t access_flags) {
+  ClassDef& cls = current_class();
+  MethodDef def;
+  def.method_ref =
+      intern_method(file_.type_descriptor(cls.type_idx), name, return_type, params);
+  def.access_flags = access_flags;
+  def.code = std::move(code);
+  cls.virtual_methods.push_back(std::move(def));
+  return cls.virtual_methods.back().method_ref;
+}
+
+uint32_t DexBuilder::add_native_method(std::string_view name,
+                                       std::string_view return_type,
+                                       const std::vector<std::string>& params,
+                                       uint32_t access_flags) {
+  ClassDef& cls = current_class();
+  MethodDef def;
+  def.method_ref =
+      intern_method(file_.type_descriptor(cls.type_idx), name, return_type, params);
+  def.access_flags = access_flags | kAccNative;
+  cls.virtual_methods.push_back(std::move(def));
+  return cls.virtual_methods.back().method_ref;
+}
+
+EncodedValue DexBuilder::string_value(std::string_view s) {
+  EncodedValue v;
+  v.kind = EncodedValue::Kind::kString;
+  v.string_idx = intern_string(s);
+  return v;
+}
+
+EncodedValue DexBuilder::int_value(int64_t i) {
+  EncodedValue v;
+  v.kind = EncodedValue::Kind::kInt;
+  v.i = i;
+  return v;
+}
+
+EncodedValue DexBuilder::null_value() {
+  EncodedValue v;
+  v.kind = EncodedValue::Kind::kNull;
+  return v;
+}
+
+DexFile DexBuilder::build() && { return std::move(file_); }
+
+}  // namespace dexlego::dex

@@ -1,0 +1,75 @@
+// DexBuilder — interning front-end for constructing DexFile models. All
+// sample programs, the synthetic app generators and DexLego's reassembler
+// build their output through this class, so pool deduplication and index
+// stability live in exactly one place.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/dex/dex.h"
+
+namespace dexlego::dex {
+
+class DexBuilder {
+ public:
+  DexBuilder();
+
+  // --- pool interning (returns a stable pool index) ---
+  uint32_t intern_string(std::string_view s);
+  uint32_t intern_type(std::string_view descriptor);
+  uint32_t intern_proto(std::string_view return_type,
+                        const std::vector<std::string>& param_types);
+  uint32_t intern_field(std::string_view class_descriptor,
+                        std::string_view type_descriptor, std::string_view name);
+  uint32_t intern_method(std::string_view class_descriptor, std::string_view name,
+                         std::string_view return_type,
+                         const std::vector<std::string>& param_types);
+
+  // --- class construction ---
+  // Starts a class; returns its index into classes(). Descriptor form
+  // "Lcom/pkg/Name;". Super defaults to the framework Object analog.
+  size_t start_class(std::string_view descriptor,
+                     std::string_view super_descriptor = "Ljava/lang/Object;",
+                     uint32_t access_flags = kAccPublic);
+
+  // All add_* calls target the most recently started class.
+  void add_static_field(std::string_view name, std::string_view type,
+                        std::optional<EncodedValue> init = std::nullopt,
+                        uint32_t access_flags = kAccPublic | kAccStatic);
+  void add_instance_field(std::string_view name, std::string_view type,
+                          uint32_t access_flags = kAccPublic);
+  // Direct = static / private / constructor. Returns the method pool index.
+  uint32_t add_direct_method(std::string_view name, std::string_view return_type,
+                             const std::vector<std::string>& params, CodeItem code,
+                             uint32_t access_flags = kAccPublic | kAccStatic);
+  uint32_t add_virtual_method(std::string_view name, std::string_view return_type,
+                              const std::vector<std::string>& params, CodeItem code,
+                              uint32_t access_flags = kAccPublic);
+  // Native method: no code item, dispatched through the runtime native bridge.
+  uint32_t add_native_method(std::string_view name, std::string_view return_type,
+                             const std::vector<std::string>& params,
+                             uint32_t access_flags = kAccPublic | kAccNative);
+
+  // Convenience for static string/int initializers.
+  EncodedValue string_value(std::string_view s);
+  static EncodedValue int_value(int64_t v);
+  static EncodedValue null_value();
+
+  const DexFile& file() const { return file_; }
+  DexFile build() &&;
+
+ private:
+  ClassDef& current_class();
+
+  DexFile file_;
+  std::map<std::string, uint32_t, std::less<>> string_map_;
+  std::map<uint32_t, uint32_t> type_map_;  // string idx -> type idx
+  std::map<std::pair<uint32_t, std::vector<uint32_t>>, uint32_t> proto_map_;
+  std::map<std::tuple<uint32_t, uint32_t, uint32_t>, uint32_t> field_map_;
+  std::map<std::tuple<uint32_t, uint32_t, uint32_t>, uint32_t> method_map_;
+};
+
+}  // namespace dexlego::dex

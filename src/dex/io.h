@@ -1,0 +1,28 @@
+// Binary serialization of LDEX files. Layout (all little-endian):
+//
+//   header:  magic "LDEX0001" (8 bytes)
+//            u32 adler32 checksum of everything after this field
+//            u32 file size
+//            u32 counts: strings, types, protos, fields, methods, classes
+//   sections in pool order, then class definitions.
+//
+// The reader re-verifies the checksum and delegates structural validation to
+// verify.h; a corrupted or truncated file raises ParseError, never UB.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/dex/dex.h"
+
+namespace dexlego::dex {
+
+inline constexpr char kMagic[8] = {'L', 'D', 'E', 'X', '0', '0', '0', '1'};
+
+std::vector<uint8_t> write_dex(const DexFile& file);
+
+// Parses and checksum-verifies. Throws support::ParseError on malformed input.
+DexFile read_dex(std::span<const uint8_t> data);
+
+}  // namespace dexlego::dex

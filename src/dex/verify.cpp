@@ -1,0 +1,176 @@
+#include "src/dex/verify.h"
+
+#include <set>
+#include <sstream>
+
+namespace dexlego::dex {
+
+namespace {
+
+bool descriptor_well_formed(const std::string& d) {
+  if (d.empty()) return false;
+  switch (d[0]) {
+    case 'V':
+    case 'I':
+    case 'Z':
+    case 'J':
+      return d.size() == 1;
+    case '[':
+      return d.size() >= 2 && descriptor_well_formed(d.substr(1));
+    case 'L':
+      return d.size() >= 3 && d.back() == ';';
+    default:
+      return false;
+  }
+}
+
+class Verifier {
+ public:
+  explicit Verifier(const DexFile& file) : file_(file) {}
+
+  VerifyResult run() {
+    check_pools();
+    check_classes();
+    return std::move(result_);
+  }
+
+ private:
+  void fail(const std::string& msg) { result_.errors.push_back(msg); }
+
+  bool valid_string(uint32_t idx) { return idx < file_.strings.size(); }
+  bool valid_type(uint32_t idx) { return idx < file_.types.size(); }
+
+  void check_pools() {
+    for (size_t i = 0; i < file_.types.size(); ++i) {
+      uint32_t s = file_.types[i];
+      if (!valid_string(s)) {
+        fail("type " + std::to_string(i) + ": string index out of bounds");
+        continue;
+      }
+      if (!descriptor_well_formed(file_.strings[s])) {
+        fail("type " + std::to_string(i) + ": malformed descriptor '" +
+             file_.strings[s] + "'");
+      }
+    }
+    for (size_t i = 0; i < file_.protos.size(); ++i) {
+      const Proto& p = file_.protos[i];
+      if (!valid_type(p.return_type)) {
+        fail("proto " + std::to_string(i) + ": return type out of bounds");
+      }
+      for (uint32_t t : p.param_types) {
+        if (!valid_type(t)) {
+          fail("proto " + std::to_string(i) + ": param type out of bounds");
+        } else if (file_.type_descriptor(t) == "V") {
+          fail("proto " + std::to_string(i) + ": void parameter");
+        }
+      }
+    }
+    for (size_t i = 0; i < file_.fields.size(); ++i) {
+      const FieldRef& f = file_.fields[i];
+      if (!valid_type(f.class_type) || !valid_type(f.type) || !valid_string(f.name)) {
+        fail("field ref " + std::to_string(i) + ": index out of bounds");
+      }
+    }
+    for (size_t i = 0; i < file_.methods.size(); ++i) {
+      const MethodRef& m = file_.methods[i];
+      if (!valid_type(m.class_type) || m.proto >= file_.protos.size() ||
+          !valid_string(m.name)) {
+        fail("method ref " + std::to_string(i) + ": index out of bounds");
+      }
+    }
+  }
+
+  void check_field_def(const FieldDef& def, bool is_static, const std::string& where) {
+    if (def.field_ref >= file_.fields.size()) {
+      fail(where + ": field ref out of bounds");
+      return;
+    }
+    if (is_static != ((def.access_flags & kAccStatic) != 0)) {
+      fail(where + ": static flag mismatch for " + file_.pretty_field(def.field_ref));
+    }
+    if (def.static_init) {
+      if (!is_static) {
+        fail(where + ": instance field with static initializer");
+      }
+      if (def.static_init->kind == EncodedValue::Kind::kString &&
+          !valid_string(def.static_init->string_idx)) {
+        fail(where + ": static init string out of bounds");
+      }
+    }
+  }
+
+  void check_method_def(const MethodDef& def, const std::string& where) {
+    if (def.method_ref >= file_.methods.size()) {
+      fail(where + ": method ref out of bounds");
+      return;
+    }
+    bool is_native = (def.access_flags & kAccNative) != 0;
+    bool is_abstract = (def.access_flags & kAccAbstract) != 0;
+    if (def.code && (is_native || is_abstract)) {
+      fail(where + ": native/abstract method has code: " +
+           file_.pretty_method(def.method_ref));
+    }
+    if (!def.code && !is_native && !is_abstract) {
+      fail(where + ": concrete method missing code: " +
+           file_.pretty_method(def.method_ref));
+    }
+    if (def.code) {
+      const CodeItem& code = *def.code;
+      if (code.ins_size > code.registers_size) {
+        fail(where + ": ins_size exceeds registers_size in " +
+             file_.pretty_method(def.method_ref));
+      }
+      for (const TryItem& t : code.tries) {
+        if (t.start_pc >= t.end_pc || t.end_pc > code.insns.size() ||
+            t.handler_pc >= code.insns.size()) {
+          fail(where + ": malformed try item in " +
+               file_.pretty_method(def.method_ref));
+        }
+      }
+      for (const LineEntry& e : code.lines) {
+        if (e.pc >= code.insns.size() && !code.insns.empty()) {
+          fail(where + ": line entry pc out of bounds in " +
+               file_.pretty_method(def.method_ref));
+        }
+      }
+    }
+  }
+
+  void check_classes() {
+    std::set<uint32_t> seen_types;
+    for (size_t i = 0; i < file_.classes.size(); ++i) {
+      const ClassDef& cls = file_.classes[i];
+      std::string where = "class " + std::to_string(i);
+      if (!valid_type(cls.type_idx)) {
+        fail(where + ": type index out of bounds");
+        continue;
+      }
+      where = "class " + file_.type_descriptor(cls.type_idx);
+      if (!seen_types.insert(cls.type_idx).second) {
+        fail(where + ": duplicate class definition");
+      }
+      if (cls.super_type_idx != kNoIndex && !valid_type(cls.super_type_idx)) {
+        fail(where + ": super type out of bounds");
+      }
+      for (const FieldDef& f : cls.static_fields) check_field_def(f, true, where);
+      for (const FieldDef& f : cls.instance_fields) check_field_def(f, false, where);
+      for (const MethodDef& m : cls.direct_methods) check_method_def(m, where);
+      for (const MethodDef& m : cls.virtual_methods) check_method_def(m, where);
+    }
+  }
+
+  const DexFile& file_;
+  VerifyResult result_;
+};
+
+}  // namespace
+
+std::string VerifyResult::message() const {
+  std::ostringstream os;
+  for (const std::string& e : errors) os << e << "\n";
+  return os.str();
+}
+
+VerifyResult verify_structure(const DexFile& file) { return Verifier(file).run(); }
+
+}  // namespace dexlego::dex

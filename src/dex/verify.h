@@ -1,0 +1,24 @@
+// Structural verifier for LDEX files: every pool index in bounds, descriptors
+// well formed, class invariants (no duplicate type defs, supers resolvable or
+// framework-external, static-init kinds matching). Instruction-level checks
+// (opcode validity, branch targets, frame sizes) live in
+// src/bytecode/verify_code.h because they need the opcode table.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/dex/dex.h"
+
+namespace dexlego::dex {
+
+struct VerifyResult {
+  std::vector<std::string> errors;
+  bool ok() const { return errors.empty(); }
+  // All errors joined with newlines (for diagnostics).
+  std::string message() const;
+};
+
+VerifyResult verify_structure(const DexFile& file);
+
+}  // namespace dexlego::dex

@@ -1,0 +1,59 @@
+// Commercial-packer analogs (Table I). Each preset reproduces the public
+// mechanism of one packing service the paper tested: the original DEX is
+// encrypted into APK assets, classes.ldex is replaced with a shell whose
+// entry activity decrypts and dynamically loads the payload at runtime, then
+// transfers control to the original entry activity through reflection —
+// exactly the "replaces the original DEX file with a shell DEX file and
+// dynamically releases the original at runtime" flow of Section I.
+//
+// Vendor differences modelled:
+//   360      — whole-DEX rolling-xor shell (the preset Table III uses).
+//   Alibaba  — whole-DEX shell + anti-debug probe in the stub.
+//   Tencent  — class-wise packing: the DEX is split into partitions that are
+//              decrypted and loaded separately (no single release point).
+//   Baidu    — whole-DEX shell with a different key schedule.
+//   Bangcle  — shell whose stub *self-modifies* (a native patches the stub's
+//              own bytecode during unpacking), interleaving packer code and
+//              app code the way Section I warns about.
+// NetQin, APKProtect and Ijiami were already unavailable in the paper
+// (service offline / unresponsive / human-rejected); they are reported as
+// unavailable here too rather than fabricated.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/dex/archive.h"
+#include "src/runtime/runtime.h"
+
+namespace dexlego::packer {
+
+struct PackerSpec {
+  std::string vendor;       // "360", "Alibaba", ...
+  uint8_t key = 0;          // asset encryption key (0 = service unavailable)
+  int partitions = 1;       // >1 = class-wise packing
+  bool anti_debug = false;  // stub probes the environment first
+  bool self_modifying_stub = false;  // stub native patches its own bytecode
+  std::string unavailable_reason;    // non-empty: cannot pack (Table I rows)
+
+  bool available() const { return unavailable_reason.empty(); }
+};
+
+// The eight packers of Table I (five working presets + three unavailable).
+std::vector<PackerSpec> table1_packers();
+// The preset used for the packed-suite experiment (Table III): "360".
+PackerSpec packer_360();
+
+// Packs an APK: returns the shell APK, or nullopt when the service is
+// unavailable. Throws std::invalid_argument on malformed input.
+std::optional<dex::Apk> pack(const dex::Apk& original, const PackerSpec& spec);
+
+// Registers the native methods packer stubs rely on (the vendors' .so
+// analog). Must be called on any runtime that executes packed apps.
+void register_packer_natives(rt::Runtime& rt);
+
+// Descriptor of the shell entry activity for a vendor.
+std::string shell_class(const PackerSpec& spec);
+
+}  // namespace dexlego::packer

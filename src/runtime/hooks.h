@@ -1,0 +1,67 @@
+// Instrumentation surface of the runtime — the exact set of observation and
+// interposition points DexLego's JIT collection needs (paper Fig. 2): class
+// load/initialize in the class linker, method entry, per-instruction fetch in
+// the interpreter, plus the force-execution controls (branch override and
+// exception tolerance, Section IV-E) and reflection resolution (IV-D).
+//
+// Coverage tracking, DexLego collection, force execution and the
+// DexHunter/AppSpear baselines are all RuntimeHooks implementations; the
+// runtime itself knows nothing about any of them.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "src/runtime/rt_types.h"
+
+namespace dexlego::rt {
+
+class RuntimeHooks {
+ public:
+  virtual ~RuntimeHooks() = default;
+
+  // --- class linker events ---
+  virtual void on_dex_loaded(const DexImage& image) { (void)image; }
+  virtual void on_class_loaded(RtClass& cls) { (void)cls; }
+  virtual void on_class_initialized(RtClass& cls) { (void)cls; }
+
+  // --- interpreter events ---
+  virtual void on_method_entry(RtMethod& method) { (void)method; }
+  virtual void on_method_exit(RtMethod& method) { (void)method; }
+  // Fired before executing the instruction at dex_pc. `code` is the method's
+  // *current* instruction array — self-modifying code may have changed it
+  // since the last fetch, which is what the collection tree detects.
+  virtual void on_instruction(RtMethod& method, uint32_t dex_pc,
+                              std::span<const uint16_t> code) {
+    (void)method, (void)dex_pc, (void)code;
+  }
+  // Fired after a conditional branch evaluates. `taken` is the actual
+  // outcome (post-forcing).
+  virtual void on_branch(RtMethod& method, uint32_t dex_pc, bool taken) {
+    (void)method, (void)dex_pc, (void)taken;
+  }
+
+  // --- force execution controls ---
+  // Return true to override the branch outcome with *outcome.
+  virtual bool force_branch(RtMethod& method, uint32_t dex_pc, bool* outcome) {
+    (void)method, (void)dex_pc, (void)outcome;
+    return false;
+  }
+  // Return true to swallow the pending exception and continue at the next
+  // instruction ("we monitor the unhandled exception in the interpreter and
+  // tolerate it by directly clearing the exception").
+  virtual bool tolerate_exception(RtMethod& method, uint32_t dex_pc) {
+    (void)method, (void)dex_pc;
+    return false;
+  }
+
+  // --- reflection (ART resolves the target at runtime; DexLego records it) ---
+  // Fired when Method.invoke dispatches: `caller` executes the reflective
+  // call at `dex_pc` and ART resolved it to `target`.
+  virtual void on_reflective_invoke(RtMethod& caller, uint32_t dex_pc,
+                                    RtMethod& target) {
+    (void)caller, (void)dex_pc, (void)target;
+  }
+};
+
+}  // namespace dexlego::rt

@@ -1,0 +1,43 @@
+#include "src/runtime/object.h"
+
+namespace dexlego::rt {
+
+Object* Heap::new_instance(RtClass* klass, std::string descriptor,
+                           size_t field_slots) {
+  auto obj = std::make_unique<Object>();
+  obj->kind = Object::Kind::kInstance;
+  obj->klass = klass;
+  obj->class_descriptor = std::move(descriptor);
+  obj->fields.assign(field_slots, Value::Null());
+  objects_.push_back(std::move(obj));
+  return objects_.back().get();
+}
+
+Object* Heap::new_string(std::string s, uint32_t taint) {
+  auto obj = std::make_unique<Object>();
+  obj->kind = Object::Kind::kString;
+  obj->class_descriptor = "Ljava/lang/String;";
+  obj->str = std::move(s);
+  obj->taint = taint;
+  objects_.push_back(std::move(obj));
+  return objects_.back().get();
+}
+
+Object* Heap::new_array(std::string descriptor, size_t length) {
+  auto obj = std::make_unique<Object>();
+  obj->kind = Object::Kind::kArray;
+  obj->class_descriptor = std::move(descriptor);
+  obj->elems.assign(length, Value::Null());
+  objects_.push_back(std::move(obj));
+  return objects_.back().get();
+}
+
+Object* Heap::new_framework(std::string descriptor) {
+  auto obj = std::make_unique<Object>();
+  obj->kind = Object::Kind::kInstance;
+  obj->class_descriptor = std::move(descriptor);
+  objects_.push_back(std::move(obj));
+  return objects_.back().get();
+}
+
+}  // namespace dexlego::rt

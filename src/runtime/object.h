@@ -1,0 +1,56 @@
+// Heap objects. The heap is an arena owned by the Runtime — analysis runs
+// are short-lived, so objects are reclaimed wholesale when the runtime is
+// destroyed (no GC), per DESIGN.md scoping notes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/runtime/value.h"
+
+namespace dexlego::rt {
+
+struct RtClass;
+struct RtMethod;
+
+struct Object {
+  enum class Kind : uint8_t { kInstance, kString, kArray };
+
+  Kind kind = Kind::kInstance;
+  RtClass* klass = nullptr;        // null for framework-internal objects
+  std::string class_descriptor;    // always set (framework classes have no RtClass)
+
+  std::vector<Value> fields;       // instance slots (kInstance)
+  std::string str;                 // payload (kString, StringBuilder buffers)
+  std::vector<Value> elems;        // elements (kArray)
+
+  // Generic property bag for framework-backed objects (Intent extras,
+  // Bundle contents, View tags, ...). Keyed by property name.
+  std::map<std::string, Value> bag;
+
+  // Reflection carriers: Class / java.lang.reflect.Method objects.
+  RtClass* class_ref = nullptr;
+  RtMethod* method_ref = nullptr;
+
+  // Object-level taint (strings and arrays; merged with Value taint).
+  uint32_t taint = 0;
+};
+
+class Heap {
+ public:
+  Object* new_instance(RtClass* klass, std::string descriptor, size_t field_slots);
+  Object* new_string(std::string s, uint32_t taint = 0);
+  Object* new_array(std::string descriptor, size_t length);
+  // Framework-internal object with a property bag (Intent, Class, ...).
+  Object* new_framework(std::string descriptor);
+
+  size_t object_count() const { return objects_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Object>> objects_;
+};
+
+}  // namespace dexlego::rt

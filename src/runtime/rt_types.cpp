@@ -1,0 +1,68 @@
+#include "src/runtime/rt_types.h"
+
+namespace dexlego::rt {
+
+std::string RtMethod::full_name() const {
+  return (declaring ? declaring->descriptor : std::string("?")) + "->" + name;
+}
+
+RtMethod* RtClass::find_declared(std::string_view name, std::string_view shorty) {
+  for (auto& m : methods) {
+    if (m->name == name && m->shorty == shorty) return m.get();
+  }
+  return nullptr;
+}
+
+RtMethod* RtClass::find_declared(std::string_view name) {
+  for (auto& m : methods) {
+    if (m->name == name) return m.get();
+  }
+  return nullptr;
+}
+
+RtMethod* RtClass::find_dispatch(std::string_view name, std::string_view shorty) {
+  for (RtClass* cls = this; cls != nullptr; cls = cls->super) {
+    if (RtMethod* m = cls->find_declared(name, shorty)) return m;
+  }
+  // Retry by name only: samples sometimes call with a compatible shorty
+  // (e.g. Object vs String parameters), mirroring erased generics.
+  for (RtClass* cls = this; cls != nullptr; cls = cls->super) {
+    if (RtMethod* m = cls->find_declared(name)) return m;
+  }
+  return nullptr;
+}
+
+RtField* RtClass::find_instance_field(std::string_view name) {
+  for (RtClass* cls = this; cls != nullptr; cls = cls->super) {
+    for (RtField& f : cls->instance_fields) {
+      if (f.name == name) return &f;
+    }
+  }
+  return nullptr;
+}
+
+RtField* RtClass::find_static_field(std::string_view name) {
+  for (RtClass* cls = this; cls != nullptr; cls = cls->super) {
+    for (RtField& f : cls->static_fields) {
+      if (f.name == name) return &f;
+    }
+  }
+  return nullptr;
+}
+
+bool RtClass::is_subclass_of(const RtClass* ancestor) const {
+  for (const RtClass* cls = this; cls != nullptr; cls = cls->super) {
+    if (cls == ancestor) return true;
+  }
+  return false;
+}
+
+bool RtClass::has_framework_ancestor(std::string_view descriptor) const {
+  for (const RtClass* cls = this; cls != nullptr; cls = cls->super) {
+    if (cls->super == nullptr && cls->super_descriptor == descriptor) return true;
+    if (cls->descriptor == descriptor) return true;
+  }
+  return false;
+}
+
+}  // namespace dexlego::rt

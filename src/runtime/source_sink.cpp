@@ -1,0 +1,51 @@
+#include "src/runtime/source_sink.h"
+
+#include <array>
+#include <string_view>
+
+namespace dexlego::rt {
+
+namespace {
+constexpr std::array<SourceSpec, 6> kSources = {{
+    {"Landroid/telephony/TelephonyManager;", "getDeviceId", kTaintDeviceId,
+     "356938035643809"},
+    {"Landroid/location/LocationManager;", "getLastKnownLocation", kTaintLocation,
+     "40.7128,-74.0060"},
+    {"Landroid/net/wifi/WifiInfo;", "getSSID", kTaintSsid, "CorpWiFi-5G"},
+    {"Ldexlego/api/Source;", "secret", kTaintSensitive, "top-secret-data"},
+    {"Landroid/provider/ContactsContract;", "query", kTaintContacts,
+     "alice:555-0100"},
+    {"Landroid/telephony/SmsManager;", "getAllMessages", kTaintSms,
+     "msg:hello-world"},
+}};
+
+constexpr std::array<SinkSpec, 6> kSinks = {{
+    {"Landroid/telephony/SmsManager;", "sendTextMessage", "sms"},
+    {"Landroid/util/Log;", "i", "log"},
+    {"Landroid/util/Log;", "d", "log"},
+    {"Landroid/util/Log;", "e", "log"},
+    {"Ldexlego/api/Network;", "send", "net"},
+    {"Ljava/net/HttpURLConnection;", "post", "net"},
+}};
+}  // namespace
+
+std::span<const SourceSpec> taint_sources() { return kSources; }
+std::span<const SinkSpec> taint_sinks() { return kSinks; }
+
+const SourceSpec* find_source(std::string_view class_descriptor,
+                              std::string_view method) {
+  for (const SourceSpec& s : kSources) {
+    if (class_descriptor == s.class_descriptor && method == s.method) return &s;
+  }
+  return nullptr;
+}
+
+const SinkSpec* find_sink(std::string_view class_descriptor,
+                          std::string_view method) {
+  for (const SinkSpec& s : kSinks) {
+    if (class_descriptor == s.class_descriptor && method == s.method) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace dexlego::rt

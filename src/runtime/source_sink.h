@@ -1,0 +1,38 @@
+// Shared registry of taint sources and sinks — the single source of truth
+// used by (a) the runtime builtins that implement them, (b) the dynamic
+// taint presets (TaintDroid/TaintART analogs) and (c) the static analyzers'
+// framework model. Keeping one table means the tools agree on what counts
+// as a leak, exactly like DroidBench's SourcesAndSinks.txt convention.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "src/runtime/value.h"
+
+namespace dexlego::rt {
+
+struct SourceSpec {
+  const char* class_descriptor;
+  const char* method;
+  uint32_t taint;
+  const char* sample_value;  // the concrete value the builtin returns
+};
+
+struct SinkSpec {
+  const char* class_descriptor;
+  const char* method;
+  const char* sink_name;  // "sms", "log", "net"
+};
+
+std::span<const SourceSpec> taint_sources();
+std::span<const SinkSpec> taint_sinks();
+
+// Null when the pair is not a source/sink.
+const SourceSpec* find_source(std::string_view class_descriptor,
+                              std::string_view method);
+const SinkSpec* find_sink(std::string_view class_descriptor,
+                          std::string_view method);
+
+}  // namespace dexlego::rt

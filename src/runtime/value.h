@@ -1,0 +1,54 @@
+// Runtime value model. Every register slot, field slot and array element is
+// a Value: a 64-bit integer or an object reference, carrying a taint bitmask
+// so the interpreter doubles as the TaintDroid/TaintART-analog dynamic taint
+// substrate (Table IV).
+#pragma once
+
+#include <cstdint>
+
+namespace dexlego::rt {
+
+struct Object;
+
+// Taint source bits (shared with the static analyzers' source registry).
+enum TaintBit : uint32_t {
+  kTaintDeviceId = 1u << 0,   // TelephonyManager.getDeviceId (IMEI)
+  kTaintLocation = 1u << 1,   // LocationManager.getLastKnownLocation
+  kTaintSsid = 1u << 2,       // WifiInfo.getSSID
+  kTaintSensitive = 1u << 3,  // generic getSensitiveData (Code 1)
+  kTaintContacts = 1u << 4,
+  kTaintSms = 1u << 5,
+};
+
+struct Value {
+  enum class Kind : uint8_t { kInt = 0, kRef = 1 };
+
+  Kind kind = Kind::kInt;
+  int64_t i = 0;
+  Object* ref = nullptr;
+  uint32_t taint = 0;
+
+  static Value Int(int64_t v, uint32_t taint = 0) {
+    Value val;
+    val.kind = Kind::kInt;
+    val.i = v;
+    val.taint = taint;
+    return val;
+  }
+  static Value Ref(Object* obj, uint32_t taint = 0) {
+    Value val;
+    val.kind = Kind::kRef;
+    val.ref = obj;
+    val.taint = taint;
+    return val;
+  }
+  static Value Null() { return Ref(nullptr); }
+
+  bool is_ref() const { return kind == Kind::kRef; }
+  bool is_null_ref() const { return kind == Kind::kRef && ref == nullptr; }
+
+  // Branch-test view: ints test their value, refs test non-nullness.
+  int64_t test_value() const { return kind == Kind::kInt ? i : (ref ? 1 : 0); }
+};
+
+}  // namespace dexlego::rt

@@ -1,0 +1,47 @@
+#include "src/support/hash.h"
+
+namespace dexlego::support {
+
+uint32_t adler32(std::span<const uint8_t> data) {
+  constexpr uint32_t kMod = 65521;
+  uint32_t a = 1, b = 0;
+  for (uint8_t byte : data) {
+    a = (a + byte) % kMod;
+    b = (b + a) % kMod;
+  }
+  return (b << 16) | a;
+}
+
+namespace {
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+}
+
+uint64_t fnv1a(std::span<const uint8_t> data) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (uint8_t byte : data) {
+    h ^= byte;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t fnv1a(std::string_view s) {
+  return fnv1a(std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(s.data()),
+                                        s.size()));
+}
+
+void Fnv1a::add(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h_ ^= (v >> (8 * i)) & 0xff;
+    h_ *= kFnvPrime;
+  }
+}
+
+void Fnv1a::add_bytes(std::span<const uint8_t> data) {
+  for (uint8_t byte : data) {
+    h_ ^= byte;
+    h_ *= kFnvPrime;
+  }
+}
+
+}  // namespace dexlego::support

@@ -1,0 +1,29 @@
+// Checksums used by the LDEX container (adler32, mirroring real DEX headers)
+// and fast non-cryptographic hashing for dedup of collection trees.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace dexlego::support {
+
+// Adler-32 as used in the real DEX header checksum field.
+uint32_t adler32(std::span<const uint8_t> data);
+
+// FNV-1a 64-bit, used to fingerprint instruction arrays / collection trees.
+uint64_t fnv1a(std::span<const uint8_t> data);
+uint64_t fnv1a(std::string_view s);
+
+// Incremental FNV-1a combiner for hashing structured data.
+class Fnv1a {
+ public:
+  void add(uint64_t v);
+  void add_bytes(std::span<const uint8_t> data);
+  uint64_t digest() const { return h_; }
+
+ private:
+  uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+}  // namespace dexlego::support

@@ -1,0 +1,47 @@
+// Minimal leveled logging. Benches and examples set the level; the library
+// defaults to warnings only so test output stays readable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dexlego::support {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace dexlego::support
+
+#define DL_LOG(level)                                              \
+  if (static_cast<int>(level) < static_cast<int>(::dexlego::support::log_level())) \
+    ;                                                              \
+  else                                                             \
+    ::dexlego::support::detail::LogLine(level)
+
+#define DL_DEBUG DL_LOG(::dexlego::support::LogLevel::kDebug)
+#define DL_INFO DL_LOG(::dexlego::support::LogLevel::kInfo)
+#define DL_WARN DL_LOG(::dexlego::support::LogLevel::kWarn)
+#define DL_ERROR DL_LOG(::dexlego::support::LogLevel::kError)

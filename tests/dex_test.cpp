@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "src/dex/archive.h"
+#include "src/dex/builder.h"
+#include "src/dex/dex.h"
+#include "src/dex/io.h"
+#include "src/dex/verify.h"
+#include "src/support/bytes.h"
+
+namespace dexlego::dex {
+namespace {
+
+DexFile make_sample_file() {
+  DexBuilder b;
+  b.start_class("Lcom/test/Main;");
+  b.add_static_field("PHONE", "Ljava/lang/String;", b.string_value("800-123-456"));
+  b.add_instance_field("counter", "I");
+  CodeItem code;
+  code.registers_size = 2;
+  code.ins_size = 1;
+  code.insns = {0x0009};  // return-void
+  code.lines = {{0, 5}};
+  b.add_virtual_method("onCreate", "V", {}, code);
+  b.add_native_method("bytecodeTamper", "V", {"I"});
+  b.start_class("Lcom/test/Helper;", "Lcom/test/Main;");
+  b.add_direct_method("util", "I", {"I", "I"}, code, kAccPublic | kAccStatic);
+  return std::move(b).build();
+}
+
+TEST(DexBuilder, InternsStringsOnce) {
+  DexBuilder b;
+  uint32_t a = b.intern_string("x");
+  uint32_t c = b.intern_string("x");
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b.intern_string("y"));
+}
+
+TEST(DexBuilder, InternsTypesProtosFieldsMethods) {
+  DexBuilder b;
+  uint32_t t1 = b.intern_type("Lcom/A;");
+  EXPECT_EQ(t1, b.intern_type("Lcom/A;"));
+  uint32_t p1 = b.intern_proto("V", {"I"});
+  EXPECT_EQ(p1, b.intern_proto("V", {"I"}));
+  EXPECT_NE(p1, b.intern_proto("V", {"I", "I"}));
+  uint32_t f1 = b.intern_field("Lcom/A;", "I", "x");
+  EXPECT_EQ(f1, b.intern_field("Lcom/A;", "I", "x"));
+  uint32_t m1 = b.intern_method("Lcom/A;", "foo", "V", {});
+  EXPECT_EQ(m1, b.intern_method("Lcom/A;", "foo", "V", {}));
+  EXPECT_NE(m1, b.intern_method("Lcom/A;", "bar", "V", {}));
+}
+
+TEST(DexBuilder, ObjectIsTypeZero) {
+  DexBuilder b;
+  EXPECT_EQ(b.intern_type("Ljava/lang/Object;"), 0u);
+}
+
+TEST(DexFile, Accessors) {
+  DexFile f = make_sample_file();
+  const ClassDef* main = f.find_class("Lcom/test/Main;");
+  ASSERT_NE(main, nullptr);
+  EXPECT_EQ(f.type_descriptor(main->type_idx), "Lcom/test/Main;");
+  EXPECT_EQ(main->virtual_methods.size(), 2u);  // onCreate + native tamper
+  EXPECT_EQ(f.find_class("Lcom/missing;"), nullptr);
+
+  uint32_t m = f.find_method_ref("Lcom/test/Main;", "onCreate");
+  ASSERT_NE(m, kNoIndex);
+  EXPECT_EQ(f.pretty_method(m), "Lcom/test/Main;->onCreate()V");
+  EXPECT_EQ(f.find_method_ref("Lcom/test/Main;", "nope"), kNoIndex);
+}
+
+TEST(DexFile, PrettyFieldAndShorty) {
+  DexFile f = make_sample_file();
+  uint32_t util = f.find_method_ref("Lcom/test/Helper;", "util");
+  ASSERT_NE(util, kNoIndex);
+  EXPECT_EQ(f.proto_shorty(f.methods[util].proto), "(II)I");
+  EXPECT_EQ(f.pretty_field(0), "Lcom/test/Main;->PHONE:Ljava/lang/String;");
+}
+
+TEST(DexFile, TotalCodeUnits) {
+  DexFile f = make_sample_file();
+  // Two concrete methods with a single return-void unit each.
+  EXPECT_EQ(f.total_code_units(), 2u);
+}
+
+TEST(DexIo, RoundTrip) {
+  DexFile f = make_sample_file();
+  auto bytes = write_dex(f);
+  DexFile g = read_dex(bytes);
+  EXPECT_EQ(g.strings, f.strings);
+  EXPECT_EQ(g.types, f.types);
+  EXPECT_EQ(g.fields.size(), f.fields.size());
+  EXPECT_EQ(g.methods.size(), f.methods.size());
+  ASSERT_EQ(g.classes.size(), f.classes.size());
+  EXPECT_EQ(g.classes[0].virtual_methods.size(), f.classes[0].virtual_methods.size());
+  ASSERT_TRUE(g.classes[0].static_fields[0].static_init.has_value());
+  EXPECT_EQ(g.string_at(g.classes[0].static_fields[0].static_init->string_idx),
+            "800-123-456");
+  // Line tables survive.
+  ASSERT_TRUE(g.classes[0].virtual_methods[0].code.has_value());
+  ASSERT_EQ(g.classes[0].virtual_methods[0].code->lines.size(), 1u);
+  EXPECT_EQ(g.classes[0].virtual_methods[0].code->lines[0].line, 5u);
+}
+
+TEST(DexIo, DetectsCorruption) {
+  auto bytes = write_dex(make_sample_file());
+  bytes[bytes.size() / 2] ^= 0xff;
+  EXPECT_THROW(read_dex(bytes), support::ParseError);
+}
+
+TEST(DexIo, DetectsTruncation) {
+  auto bytes = write_dex(make_sample_file());
+  bytes.resize(bytes.size() - 3);
+  EXPECT_THROW(read_dex(bytes), support::ParseError);
+}
+
+TEST(DexIo, DetectsBadMagic) {
+  auto bytes = write_dex(make_sample_file());
+  bytes[0] = 'X';
+  EXPECT_THROW(read_dex(bytes), support::ParseError);
+}
+
+TEST(DexVerify, AcceptsWellFormed) {
+  auto result = verify_structure(make_sample_file());
+  EXPECT_TRUE(result.ok()) << result.message();
+}
+
+TEST(DexVerify, RejectsBadTypeIndex) {
+  DexFile f = make_sample_file();
+  f.classes[0].type_idx = 999;
+  EXPECT_FALSE(verify_structure(f).ok());
+}
+
+TEST(DexVerify, RejectsDuplicateClass) {
+  DexFile f = make_sample_file();
+  f.classes.push_back(f.classes[0]);
+  EXPECT_FALSE(verify_structure(f).ok());
+}
+
+TEST(DexVerify, RejectsMalformedDescriptor) {
+  DexBuilder b;
+  b.intern_type("NotADescriptor");
+  EXPECT_FALSE(verify_structure(std::move(b).build()).ok());
+}
+
+TEST(DexVerify, RejectsNativeWithCode) {
+  DexFile f = make_sample_file();
+  CodeItem code;
+  code.registers_size = 1;
+  code.insns = {0x0009};
+  // bytecodeTamper is the native method (index 1 in virtual methods).
+  f.classes[0].virtual_methods[1].code = code;
+  EXPECT_FALSE(verify_structure(f).ok());
+}
+
+TEST(DexVerify, RejectsConcreteWithoutCode) {
+  DexFile f = make_sample_file();
+  f.classes[0].virtual_methods[0].code.reset();
+  EXPECT_FALSE(verify_structure(f).ok());
+}
+
+TEST(DexVerify, RejectsBadTryRange) {
+  DexFile f = make_sample_file();
+  auto& code = *f.classes[0].virtual_methods[0].code;
+  code.tries.push_back({0, 99, 0});  // end beyond code
+  EXPECT_FALSE(verify_structure(f).ok());
+}
+
+TEST(DexVerify, RejectsVoidParameter) {
+  DexBuilder b;
+  b.intern_proto("V", {"V"});
+  EXPECT_FALSE(verify_structure(std::move(b).build()).ok());
+}
+
+TEST(Apk, RoundTrip) {
+  Apk apk;
+  Manifest m;
+  m.package = "com.test";
+  m.entry_class = "Lcom/test/Main;";
+  m.version = "1.0";
+  m.permissions = {"SEND_SMS", "READ_PHONE_STATE"};
+  apk.set_manifest(m);
+  apk.set_classes(write_dex(make_sample_file()));
+  apk.set_entry("assets/payload.bin", {9, 9, 9});
+
+  Apk back = Apk::read(apk.write());
+  Manifest m2 = back.manifest();
+  EXPECT_EQ(m2.package, "com.test");
+  EXPECT_EQ(m2.entry_class, "Lcom/test/Main;");
+  EXPECT_EQ(m2.permissions.size(), 2u);
+  EXPECT_TRUE(back.has_entry("assets/payload.bin"));
+  EXPECT_EQ(back.entry("assets/payload.bin"), (std::vector<uint8_t>{9, 9, 9}));
+  DexFile f = read_dex(back.classes());
+  EXPECT_NE(f.find_class("Lcom/test/Main;"), nullptr);
+}
+
+TEST(Apk, DetectsTamperedEntry) {
+  Apk apk;
+  apk.set_entry("x", {1, 2, 3});
+  auto bytes = apk.write();
+  // Flip a payload byte (entries are near the middle of the small file).
+  bytes[bytes.size() - 10] ^= 1;
+  EXPECT_THROW(Apk::read(bytes), support::ParseError);
+}
+
+TEST(Apk, MissingEntryThrows) {
+  Apk apk;
+  EXPECT_THROW(apk.entry("nope"), std::out_of_range);
+  EXPECT_FALSE(apk.has_entry("nope"));
+}
+
+TEST(Apk, RemoveAndListEntries) {
+  Apk apk;
+  apk.set_entry("a", {1});
+  apk.set_entry("b", {2});
+  EXPECT_EQ(apk.entry_names().size(), 2u);
+  apk.remove_entry("a");
+  EXPECT_EQ(apk.entry_names(), std::vector<std::string>{"b"});
+}
+
+}  // namespace
+}  // namespace dexlego::dex

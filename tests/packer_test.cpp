@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "src/analysis/static_taint.h"
+#include "src/benchsuite/droidbench.h"
+#include "src/bytecode/remap.h"
+#include "src/support/bytes.h"
+#include "src/dex/io.h"
+#include "src/packer/packer.h"
+#include "src/unpackers/unpackers.h"
+
+namespace dexlego::packer {
+namespace {
+
+const suite::Sample& sample(const char* name) {
+  static suite::DroidBench db = suite::build_droidbench();
+  const suite::Sample* s = db.find(name);
+  EXPECT_NE(s, nullptr);
+  return *s;
+}
+
+TEST(Packer, Table1ListsEightVendors) {
+  auto packers = table1_packers();
+  ASSERT_EQ(packers.size(), 8u);
+  int available = 0;
+  for (const PackerSpec& p : packers) available += p.available() ? 1 : 0;
+  EXPECT_EQ(available, 5);  // NetQin/APKProtect/Ijiami are unavailable
+  EXPECT_FALSE(pack(sample("Straight1").apk, packers[5]).has_value());
+}
+
+TEST(Packer, ShellReplacesClassesAndHidesPayload) {
+  const suite::Sample& s = sample("Straight1");
+  auto packed = pack(s.apk, packer_360());
+  ASSERT_TRUE(packed.has_value());
+  dex::DexFile shell = dex::read_dex(packed->classes());
+  // The original class is gone from the visible DEX; the shell is present.
+  EXPECT_EQ(shell.find_class("Ldb/Straight1/Main;"), nullptr);
+  EXPECT_NE(shell.find_class(shell_class(packer_360())), nullptr);
+  EXPECT_TRUE(packed->has_entry("assets/360/p0.bin"));
+  // Manifest entry switched to the shell.
+  EXPECT_EQ(packed->manifest().entry_class, shell_class(packer_360()));
+}
+
+TEST(Packer, PayloadIsEncrypted) {
+  const suite::Sample& s = sample("Straight1");
+  auto packed = pack(s.apk, packer_360());
+  const auto& payload = packed->entry("assets/360/p0.bin");
+  // Encrypted payload must not parse as LDEX.
+  EXPECT_THROW(dex::read_dex(payload), support::ParseError);
+}
+
+TEST(Packer, PackedAppStillLeaksAtRuntime) {
+  const suite::Sample& s = sample("Straight1");
+  auto packed = pack(s.apk, packer_360());
+  rt::Runtime runtime;
+  register_packer_natives(runtime);
+  runtime.install(*packed);
+  rt::ExecOutcome out = runtime.launch();
+  ASSERT_TRUE(out.completed) << out.abort_reason << out.exception_type;
+  EXPECT_EQ(runtime.leaks().size(), 1u);  // behaviour preserved through packing
+}
+
+TEST(Packer, ClasswisePartitionsLoadLazily) {
+  const suite::Sample& s = sample("Icc1");  // two activities -> >1 class
+  PackerSpec tencent = table1_packers()[2];
+  ASSERT_EQ(tencent.vendor, "Tencent");
+  auto packed = pack(s.apk, tencent);
+  ASSERT_TRUE(packed.has_value());
+  int partitions = 0;
+  for (const std::string& name : packed->entry_names()) {
+    if (name.rfind("assets/Tencent/", 0) == 0) ++partitions;
+  }
+  EXPECT_GT(partitions, 1);
+  rt::Runtime runtime;
+  register_packer_natives(runtime);
+  runtime.install(*packed);
+  ASSERT_TRUE(runtime.launch().completed);
+  EXPECT_EQ(runtime.linker().images().size(), 1u + partitions);
+  EXPECT_EQ(runtime.leaks().size(), 1u);
+}
+
+TEST(Packer, SelfModifyingStubExecutes) {
+  const suite::Sample& s = sample("Straight1");
+  PackerSpec bangcle = table1_packers()[4];
+  ASSERT_TRUE(bangcle.self_modifying_stub);
+  auto packed = pack(s.apk, bangcle);
+  rt::Runtime runtime;
+  register_packer_natives(runtime);
+  runtime.install(*packed);
+  ASSERT_TRUE(runtime.launch().completed);
+  EXPECT_EQ(runtime.leaks().size(), 1u);
+}
+
+TEST(Packer, LifecycleProxiesForward) {
+  const suite::Sample& s = sample("Lifecycle7");  // leak fires in onPause
+  auto packed = pack(s.apk, packer_360());
+  rt::Runtime runtime;
+  register_packer_natives(runtime);
+  runtime.install(*packed);
+  ASSERT_TRUE(runtime.launch().completed);
+  EXPECT_TRUE(runtime.leaks().empty());
+  runtime.call_activity_method("onPause");  // proxied into the unpacked app
+  EXPECT_EQ(runtime.leaks().size(), 1u);
+}
+
+TEST(Packer, StaticAnalysisBlindOnPackedApp) {
+  const suite::Sample& s = sample("Straight1");
+  auto packed = pack(s.apk, packer_360());
+  analysis::StaticAnalyzer analyzer(analysis::horndroid_config());
+  EXPECT_TRUE(analyzer.analyze_apk(*packed).flows.empty());
+}
+
+TEST(Remap, MergePreservesClassesAndDedups) {
+  dex::DexFile a = dex::read_dex(sample("Straight1").apk.classes());
+  dex::DexFile b = dex::read_dex(sample("Clean1").apk.classes());
+  const dex::DexFile* files[] = {&a, &b, &a};
+  dex::DexFile merged = bc::merge_dex_files(files);
+  EXPECT_NE(merged.find_class("Ldb/Straight1/Main;"), nullptr);
+  EXPECT_NE(merged.find_class("Ldb/Clean1/Main;"), nullptr);
+  EXPECT_EQ(merged.classes.size(), a.classes.size() + b.classes.size());
+}
+
+}  // namespace
+}  // namespace dexlego::packer
+
+namespace dexlego::unpackers {
+namespace {
+
+const suite::Sample& sample(const char* name) {
+  static suite::DroidBench db = suite::build_droidbench();
+  const suite::Sample* s = db.find(name);
+  EXPECT_NE(s, nullptr);
+  return *s;
+}
+
+UnpackOptions options_for(const suite::Sample& s) {
+  UnpackOptions uo;
+  uo.configure_runtime = [&s](rt::Runtime& runtime) {
+    packer::register_packer_natives(runtime);
+    if (s.configure_runtime) s.configure_runtime(runtime);
+  };
+  return uo;
+}
+
+TEST(Unpackers, DexHunterRecoversOriginalClasses) {
+  const suite::Sample& s = sample("Straight1");
+  auto packed = packer::pack(s.apk, packer::packer_360());
+  UnpackResult result = dexhunter_unpack(*packed, options_for(s));
+  EXPECT_EQ(result.images, 2u);  // shell + released payload
+  dex::DexFile dumped = dex::read_dex(result.unpacked.classes());
+  EXPECT_NE(dumped.find_class("Ldb/Straight1/Main;"), nullptr);
+  analysis::StaticAnalyzer analyzer(analysis::flowdroid_config());
+  EXPECT_TRUE(analyzer.analyze_apk(result.unpacked).leak_detected());
+}
+
+TEST(Unpackers, AppSpearRecoversLoadedClasses) {
+  const suite::Sample& s = sample("Straight1");
+  auto packed = packer::pack(s.apk, packer::packer_360());
+  UnpackResult result = appspear_unpack(*packed, options_for(s));
+  dex::DexFile dumped = dex::read_dex(result.unpacked.classes());
+  EXPECT_NE(dumped.find_class("Ldb/Straight1/Main;"), nullptr);
+  analysis::StaticAnalyzer analyzer(analysis::flowdroid_config());
+  EXPECT_TRUE(analyzer.analyze_apk(result.unpacked).leak_detected());
+}
+
+// The paper's core criticism: method-level dumps hold ONE snapshot per
+// method, so the self-modified sink call is invisible to both baselines
+// while DexLego's instruction-level collection reveals it (Table III).
+TEST(Unpackers, DumpBasedBaselinesMissSelfModifyingCode) {
+  const suite::Sample& s = sample("SelfMod1");
+  auto packed = packer::pack(s.apk, packer::packer_360());
+  analysis::StaticAnalyzer analyzer(analysis::horndroid_config());
+  UnpackResult dh = dexhunter_unpack(*packed, options_for(s));
+  UnpackResult as_r = appspear_unpack(*packed, options_for(s));
+  EXPECT_FALSE(analyzer.analyze_apk(dh.unpacked).leak_detected());
+  EXPECT_FALSE(analyzer.analyze_apk(as_r.unpacked).leak_detected());
+}
+
+TEST(Unpackers, DynamicLoadingIsCaptured) {
+  // ...but dynamically loaded code IS captured (the +3 TPs of Table III).
+  const suite::Sample& s = sample("DynLoad1");
+  auto packed = packer::pack(s.apk, packer::packer_360());
+  UnpackResult dh = dexhunter_unpack(*packed, options_for(s));
+  dex::DexFile dumped = dex::read_dex(dh.unpacked.classes());
+  EXPECT_NE(dumped.find_class("Ldb/DynLoad1/Payload;"), nullptr);
+}
+
+}  // namespace
+}  // namespace dexlego::unpackers

@@ -1,0 +1,770 @@
+#include <gtest/gtest.h>
+
+#include "src/bytecode/assembler.h"
+#include "src/dex/builder.h"
+#include "src/dex/io.h"
+#include "src/runtime/runtime.h"
+#include "src/runtime/source_sink.h"
+
+namespace dexlego::rt {
+namespace {
+
+using bc::MethodAssembler;
+using bc::Op;
+
+// Builds a runtime with the given DEX registered and returns the runtime.
+std::unique_ptr<Runtime> runtime_with(dex::DexFile file, RuntimeConfig cfg = {}) {
+  auto rt = std::make_unique<Runtime>(cfg);
+  rt->linker().register_dex(std::move(file), "test.ldex");
+  return rt;
+}
+
+RtMethod* find_method(Runtime& rt, const char* cls, const char* name) {
+  RtClass* c = rt.linker().resolve(cls);
+  if (c == nullptr) return nullptr;
+  return c->find_declared(name);
+}
+
+TEST(Interp, LoopArithmetic) {
+  // static int sum(): s=0; for(i=0;i<10;++i) s+=i; return s  => 45
+  dex::DexBuilder b;
+  b.start_class("Lt/A;");
+  MethodAssembler as(3, 0);
+  auto loop = as.make_label();
+  auto done = as.make_label();
+  as.const16(0, 0);   // s
+  as.const16(1, 0);   // i
+  as.const16(2, 10);  // bound
+  as.bind(loop);
+  as.if_test(Op::kIfGe, 1, 2, done);
+  as.binop(Op::kAdd, 0, 0, 1);
+  as.add_lit8(1, 1, 1);
+  as.goto_(loop);
+  as.bind(done);
+  as.return_value(0);
+  b.add_direct_method("sum", "I", {}, as.finish());
+
+  auto rt = runtime_with(std::move(b).build());
+  ExecOutcome out = rt->interp().invoke(*find_method(*rt, "Lt/A;", "sum"), {});
+  ASSERT_TRUE(out.completed) << out.abort_reason << out.exception_type;
+  EXPECT_EQ(out.ret.i, 45);
+}
+
+TEST(Interp, AllBinops) {
+  // f(a, b) returns a table of ops applied; test via separate methods.
+  struct Case { Op op; int64_t a, b, expect; };
+  const Case cases[] = {
+      {Op::kAdd, 7, 3, 10},  {Op::kSub, 7, 3, 4},   {Op::kMul, 7, 3, 21},
+      {Op::kDiv, 7, 3, 2},   {Op::kRem, 7, 3, 1},   {Op::kAnd, 6, 3, 2},
+      {Op::kOr, 6, 3, 7},    {Op::kXor, 6, 3, 5},   {Op::kShl, 1, 4, 16},
+      {Op::kShr, 16, 2, 4},  {Op::kCmp, 2, 9, -1},  {Op::kCmp, 9, 2, 1},
+      {Op::kCmp, 4, 4, 0},
+  };
+  for (const Case& c : cases) {
+    dex::DexBuilder b;
+    b.start_class("Lt/A;");
+    MethodAssembler as(3, 2);
+    as.binop(c.op, 0, 1, 2);
+    as.return_value(0);
+    b.add_direct_method("f", "I", {"I", "I"}, as.finish());
+    auto rt = runtime_with(std::move(b).build());
+    ExecOutcome out = rt->interp().invoke(*find_method(*rt, "Lt/A;", "f"),
+                                          {Value::Int(c.a), Value::Int(c.b)});
+    ASSERT_TRUE(out.completed);
+    EXPECT_EQ(out.ret.i, c.expect) << bc::op_info(c.op).name;
+  }
+}
+
+TEST(Interp, DivByZeroThrows) {
+  dex::DexBuilder b;
+  b.start_class("Lt/A;");
+  MethodAssembler as(2, 0);
+  as.const16(0, 1);
+  as.const16(1, 0);
+  as.binop(Op::kDiv, 0, 0, 1);
+  as.return_void();
+  b.add_direct_method("f", "V", {}, as.finish());
+  auto rt = runtime_with(std::move(b).build());
+  ExecOutcome out = rt->interp().invoke(*find_method(*rt, "Lt/A;", "f"), {});
+  EXPECT_TRUE(out.uncaught);
+  EXPECT_EQ(out.exception_type, "Ljava/lang/ArithmeticException;");
+}
+
+TEST(Interp, TryCatchHandlesException) {
+  dex::DexBuilder b;
+  b.start_class("Lt/A;");
+  MethodAssembler as(2, 0);
+  auto handler = as.make_label();
+  as.begin_try();
+  as.const16(0, 1);
+  as.const16(1, 0);
+  as.binop(Op::kDiv, 0, 0, 1);
+  as.end_try(handler);
+  as.const16(0, -1);
+  as.return_value(0);
+  as.bind(handler);
+  as.move_exception(1);
+  as.const16(0, 42);
+  as.return_value(0);
+  b.add_direct_method("f", "I", {}, as.finish());
+  auto rt = runtime_with(std::move(b).build());
+  ExecOutcome out = rt->interp().invoke(*find_method(*rt, "Lt/A;", "f"), {});
+  ASSERT_TRUE(out.completed);
+  EXPECT_EQ(out.ret.i, 42);
+}
+
+TEST(Interp, StaticFieldsAndClinit) {
+  dex::DexBuilder b;
+  b.start_class("Lt/A;");
+  b.add_static_field("X", "I", dex::DexBuilder::int_value(5));
+  uint32_t fx = b.intern_field("Lt/A;", "I", "X");
+  {
+    // <clinit>: X = X * 3
+    MethodAssembler as(1, 0);
+    as.sget(0, static_cast<uint16_t>(fx));
+    as.mul_lit8(0, 0, 3);
+    as.sput(0, static_cast<uint16_t>(fx));
+    as.return_void();
+    b.add_direct_method("<clinit>", "V", {}, as.finish(),
+                        dex::kAccStatic | dex::kAccConstructor);
+  }
+  {
+    MethodAssembler as(1, 0);
+    as.sget(0, static_cast<uint16_t>(fx));
+    as.return_value(0);
+    b.add_direct_method("get", "I", {}, as.finish());
+  }
+  auto rt = runtime_with(std::move(b).build());
+  ExecOutcome out = rt->interp().invoke(*find_method(*rt, "Lt/A;", "get"), {});
+  ASSERT_TRUE(out.completed);
+  EXPECT_EQ(out.ret.i, 15);  // 5 * 3 applied by <clinit> before first sget
+}
+
+TEST(Interp, InstanceFieldsAndVirtualDispatch) {
+  dex::DexBuilder b;
+  // class Base { int v; int get() { return v; } }
+  b.start_class("Lt/Base;");
+  b.add_instance_field("v", "I");
+  uint32_t fv = b.intern_field("Lt/Base;", "I", "v");
+  {
+    MethodAssembler as(2, 1);  // p0 = this in v1
+    as.iget(0, 1, static_cast<uint16_t>(fv));
+    as.return_value(0);
+    b.add_virtual_method("get", "I", {}, as.finish());
+  }
+  // class Sub extends Base { int get() { return 99; } }
+  b.start_class("Lt/Sub;", "Lt/Base;");
+  {
+    MethodAssembler as(1, 1);
+    as.const16(0, 99);
+    as.return_value(0);
+    b.add_virtual_method("get", "I", {}, as.finish());
+  }
+  // static int test(): Base b1 = new Base(); b1.v = 7; Base b2 = new Sub();
+  //                    return b1.get() + b2.get();  => 7 + 99
+  uint32_t base_t = b.intern_type("Lt/Base;");
+  uint32_t sub_t = b.intern_type("Lt/Sub;");
+  uint32_t get_m = b.intern_method("Lt/Base;", "get", "I", {});
+  b.start_class("Lt/Main;");
+  {
+    MethodAssembler as(4, 0);
+    as.new_instance(0, static_cast<uint16_t>(base_t));
+    as.const16(1, 7);
+    as.iput(1, 0, static_cast<uint16_t>(fv));
+    as.new_instance(2, static_cast<uint16_t>(sub_t));
+    as.invoke(Op::kInvokeVirtual, static_cast<uint16_t>(get_m), {0});
+    as.move_result(1);
+    as.invoke(Op::kInvokeVirtual, static_cast<uint16_t>(get_m), {2});
+    as.move_result(3);
+    as.binop(Op::kAdd, 0, 1, 3);
+    as.return_value(0);
+    b.add_direct_method("test", "I", {}, as.finish());
+  }
+  auto rt = runtime_with(std::move(b).build());
+  ExecOutcome out = rt->interp().invoke(*find_method(*rt, "Lt/Main;", "test"), {});
+  ASSERT_TRUE(out.completed) << out.exception_type << out.exception_message;
+  EXPECT_EQ(out.ret.i, 106);
+}
+
+TEST(Interp, ArraysAndBoundsCheck) {
+  dex::DexBuilder b;
+  uint32_t arr_t = b.intern_type("[I");
+  b.start_class("Lt/A;");
+  {
+    // int[] a = new int[3]; a[1] = 5; return a[1] + a.length
+    MethodAssembler as(4, 0);
+    as.const16(0, 3);
+    as.new_array(1, 0, static_cast<uint16_t>(arr_t));
+    as.const16(2, 1);
+    as.const16(3, 5);
+    as.aput(3, 1, 2);
+    as.aget(0, 1, 2);
+    as.array_length(2, 1);
+    as.binop(Op::kAdd, 0, 0, 2);
+    as.return_value(0);
+    b.add_direct_method("f", "I", {}, as.finish());
+  }
+  {
+    // out-of-bounds read
+    MethodAssembler as(3, 0);
+    as.const16(0, 2);
+    as.new_array(1, 0, static_cast<uint16_t>(arr_t));
+    as.const16(2, 9);
+    as.aget(0, 1, 2);
+    as.return_value(0);
+    b.add_direct_method("oob", "I", {}, as.finish());
+  }
+  auto rt = runtime_with(std::move(b).build());
+  ExecOutcome out = rt->interp().invoke(*find_method(*rt, "Lt/A;", "f"), {});
+  ASSERT_TRUE(out.completed);
+  EXPECT_EQ(out.ret.i, 8);
+  out = rt->interp().invoke(*find_method(*rt, "Lt/A;", "oob"), {});
+  EXPECT_TRUE(out.uncaught);
+  EXPECT_EQ(out.exception_type, "Ljava/lang/ArrayIndexOutOfBoundsException;");
+}
+
+TEST(Interp, PackedSwitchDispatch) {
+  dex::DexBuilder b;
+  b.start_class("Lt/A;");
+  MethodAssembler as(2, 1);
+  auto c0 = as.make_label();
+  auto c1 = as.make_label();
+  as.packed_switch(1, 10, {c0, c1});
+  as.const16(0, -1);
+  as.return_value(0);
+  as.bind(c0);
+  as.const16(0, 100);
+  as.return_value(0);
+  as.bind(c1);
+  as.const16(0, 200);
+  as.return_value(0);
+  b.add_direct_method("f", "I", {"I"}, as.finish());
+  auto rt = runtime_with(std::move(b).build());
+  RtMethod* f = find_method(*rt, "Lt/A;", "f");
+  EXPECT_EQ(rt->interp().invoke(*f, {Value::Int(10)}).ret.i, 100);
+  EXPECT_EQ(rt->interp().invoke(*f, {Value::Int(11)}).ret.i, 200);
+  EXPECT_EQ(rt->interp().invoke(*f, {Value::Int(12)}).ret.i, -1);  // fallthrough
+  EXPECT_EQ(rt->interp().invoke(*f, {Value::Int(-3)}).ret.i, -1);
+}
+
+TEST(Interp, StringBuiltinsPropagateTaint) {
+  dex::DexBuilder b;
+  uint32_t src = b.intern_method("Landroid/telephony/TelephonyManager;",
+                                 "getDeviceId", "Ljava/lang/String;", {});
+  uint32_t concat =
+      b.intern_method("Ljava/lang/String;", "concat", "Ljava/lang/String;",
+                      {"Ljava/lang/String;"});
+  uint32_t prefix = b.intern_string("id=");
+  b.start_class("Lt/A;");
+  MethodAssembler as(2, 0);
+  as.const_string(0, static_cast<uint16_t>(prefix));
+  as.invoke(Op::kInvokeStatic, static_cast<uint16_t>(src), {});
+  as.move_result(1);
+  as.invoke(Op::kInvokeVirtual, static_cast<uint16_t>(concat), {0, 1});
+  as.move_result(0);
+  as.return_value(0);
+  b.add_direct_method("f", "Ljava/lang/String;", {}, as.finish());
+  auto rt = runtime_with(std::move(b).build());
+  ExecOutcome out = rt->interp().invoke(*find_method(*rt, "Lt/A;", "f"), {});
+  ASSERT_TRUE(out.completed);
+  ASSERT_TRUE(out.ret.is_ref());
+  EXPECT_EQ(out.ret.ref->str, "id=356938035643809");
+  EXPECT_EQ(out.ret.ref->taint & kTaintDeviceId, kTaintDeviceId);
+}
+
+TEST(Interp, SourceToSinkLeakRecorded) {
+  dex::DexBuilder b;
+  uint32_t src = b.intern_method("Landroid/telephony/TelephonyManager;",
+                                 "getDeviceId", "Ljava/lang/String;", {});
+  uint32_t sink = b.intern_method("Landroid/util/Log;", "i", "V",
+                                  {"Ljava/lang/String;"});
+  b.start_class("Lt/A;");
+  MethodAssembler as(1, 0);
+  as.invoke(Op::kInvokeStatic, static_cast<uint16_t>(src), {});
+  as.move_result(0);
+  as.invoke(Op::kInvokeStatic, static_cast<uint16_t>(sink), {0});
+  as.return_void();
+  b.add_direct_method("f", "V", {}, as.finish());
+  auto rt = runtime_with(std::move(b).build());
+  rt->interp().invoke(*find_method(*rt, "Lt/A;", "f"), {});
+  ASSERT_EQ(rt->leaks().size(), 1u);
+  EXPECT_EQ(rt->leaks()[0].sink, "log");
+  EXPECT_EQ(rt->leaks()[0].taint & kTaintDeviceId, kTaintDeviceId);
+}
+
+TEST(Interp, UntaintedSinkIsNotALeak) {
+  dex::DexBuilder b;
+  uint32_t sink = b.intern_method("Landroid/util/Log;", "i", "V",
+                                  {"Ljava/lang/String;"});
+  uint32_t msg = b.intern_string("benign");
+  b.start_class("Lt/A;");
+  MethodAssembler as(1, 0);
+  as.const_string(0, static_cast<uint16_t>(msg));
+  as.invoke(Op::kInvokeStatic, static_cast<uint16_t>(sink), {0});
+  as.return_void();
+  b.add_direct_method("f", "V", {}, as.finish());
+  auto rt = runtime_with(std::move(b).build());
+  rt->interp().invoke(*find_method(*rt, "Lt/A;", "f"), {});
+  EXPECT_EQ(rt->sink_events().size(), 1u);
+  EXPECT_TRUE(rt->leaks().empty());
+}
+
+// The paper's Code 1: a native method rewrites bytecode between loop
+// iterations so that the source statement and the sink statement never
+// coexist in memory. The runtime must execute the tampered code faithfully —
+// and the dynamic taint layer still sees the leak because the value is
+// already in a register.
+TEST(Interp, SelfModifyingBytecodeExecutes) {
+  dex::DexBuilder b;
+  uint32_t src = b.intern_method("Ldexlego/api/Source;", "secret",
+                                 "Ljava/lang/String;", {});
+  uint32_t normal_m = b.intern_method("Lt/Main;", "normal", "V",
+                                      {"Ljava/lang/String;"});
+  uint32_t sink_m = b.intern_method("Lt/Main;", "sink", "V",
+                                    {"Ljava/lang/String;"});
+  uint32_t tamper_m = b.intern_method("Lt/Main;", "bytecodeTamper", "V", {"I"});
+  uint32_t log_i = b.intern_method("Landroid/util/Log;", "i", "V",
+                                   {"Ljava/lang/String;"});
+
+  b.start_class("Lt/Main;");
+  size_t call_pc;  // dex_pc of the normal/sink call, patched by the native
+  {
+    // advancedLeak: v0 = secret(); for (v1=0; v1<2; ++v1) { normal(v0); tamper(v1); }
+    MethodAssembler as(4, 1);  // v3 = this
+    auto loop = as.make_label();
+    auto done = as.make_label();
+    as.invoke(Op::kInvokeStatic, static_cast<uint16_t>(src), {});
+    as.move_result(0);
+    as.const16(1, 0);
+    as.const16(2, 2);
+    as.bind(loop);
+    as.if_test(Op::kIfGe, 1, 2, done);
+    call_pc = as.current_pc();
+    as.invoke(Op::kInvokeVirtual, static_cast<uint16_t>(normal_m), {3, 0});
+    as.invoke(Op::kInvokeVirtual, static_cast<uint16_t>(tamper_m), {3, 1});
+    as.add_lit8(1, 1, 1);
+    as.goto_(loop);
+    as.bind(done);
+    as.return_void();
+    b.add_virtual_method("advancedLeak", "V", {}, as.finish());
+  }
+  {
+    MethodAssembler as(2, 2);
+    as.return_void();
+    b.add_virtual_method("normal", "V", {"Ljava/lang/String;"}, as.finish());
+  }
+  {
+    MethodAssembler as(2, 2);  // this in v0, param in v1
+    as.invoke(Op::kInvokeStatic, static_cast<uint16_t>(log_i), {1});
+    as.return_void();
+    b.add_virtual_method("sink", "V", {"Ljava/lang/String;"}, as.finish());
+  }
+  b.add_native_method("bytecodeTamper", "V", {"I"});
+
+  uint32_t main_t = b.intern_type("Lt/Main;");
+  uint32_t leak_m = b.intern_method("Lt/Main;", "advancedLeak", "V", {});
+  b.start_class("Lt/Entry;");
+  {
+    MethodAssembler as(1, 0);
+    as.new_instance(0, static_cast<uint16_t>(main_t));
+    as.invoke(Op::kInvokeVirtual, static_cast<uint16_t>(leak_m), {0});
+    as.return_void();
+    b.add_direct_method("run", "V", {}, as.finish());
+  }
+
+  auto rt = runtime_with(std::move(b).build());
+  // bytecodeTamper(i): i==0 -> patch the call at call_pc to target sink;
+  //                    i==1 -> patch it back to normal.
+  int tamper_calls = 0;
+  rt->register_native(
+      "Lt/Main;->bytecodeTamper",
+      [call_pc, normal_m, sink_m, &tamper_calls](NativeContext& ctx,
+                                                 std::span<Value> args) {
+        ++tamper_calls;
+        RtClass* cls = ctx.runtime.linker().resolve("Lt/Main;");
+        RtMethod* leak = cls->find_declared("advancedLeak");
+        // The invoke's method index lives in code unit call_pc + 1.
+        leak->code->insns[call_pc + 1] = static_cast<uint16_t>(
+            args[1].test_value() == 0 ? sink_m : normal_m);
+        return Value::Null();
+      });
+
+  ExecOutcome out = rt->interp().invoke(*find_method(*rt, "Lt/Entry;", "run"), {});
+  ASSERT_TRUE(out.completed) << out.exception_type;
+  EXPECT_EQ(tamper_calls, 2);
+  // Second loop iteration executed sink(v0) with the sensitive value.
+  ASSERT_EQ(rt->leaks().size(), 1u);
+  EXPECT_EQ(rt->leaks()[0].taint & kTaintSensitive, kTaintSensitive);
+}
+
+TEST(Interp, ReflectionInvokeAndHook) {
+  dex::DexBuilder b;
+  uint32_t forname = b.intern_method("Ljava/lang/Class;", "forName",
+                                     "Ljava/lang/Class;", {"Ljava/lang/String;"});
+  uint32_t getm = b.intern_method("Ljava/lang/Class;", "getMethod",
+                                  "Ljava/lang/reflect/Method;",
+                                  {"Ljava/lang/String;"});
+  uint32_t invoke_m = b.intern_method("Ljava/lang/reflect/Method;", "invoke",
+                                      "Ljava/lang/Object;",
+                                      {"Ljava/lang/Object;"});
+  uint32_t cls_name = b.intern_string("Lt/T;");
+  uint32_t m_name = b.intern_string("answer");
+  b.start_class("Lt/T;");
+  {
+    MethodAssembler as(1, 0);
+    as.const16(0, 41);
+    as.add_lit8(0, 0, 1);
+    as.return_value(0);
+    b.add_direct_method("answer", "I", {}, as.finish());
+  }
+  b.start_class("Lt/A;");
+  {
+    MethodAssembler as(3, 0);
+    as.const_string(0, static_cast<uint16_t>(cls_name));
+    as.invoke(Op::kInvokeStatic, static_cast<uint16_t>(forname), {0});
+    as.move_result(0);
+    as.const_string(1, static_cast<uint16_t>(m_name));
+    as.invoke(Op::kInvokeVirtual, static_cast<uint16_t>(getm), {0, 1});
+    as.move_result(0);
+    as.const_null(1);
+    as.invoke(Op::kInvokeVirtual, static_cast<uint16_t>(invoke_m), {0, 1});
+    as.move_result(0);
+    as.return_value(0);
+    b.add_direct_method("f", "I", {}, as.finish());
+  }
+
+  struct ReflectHook : RuntimeHooks {
+    std::vector<std::string> targets;
+    void on_reflective_invoke(RtMethod&, uint32_t, RtMethod& target) override {
+      targets.push_back(target.full_name());
+    }
+  } hook;
+
+  auto rt = runtime_with(std::move(b).build());
+  rt->add_hooks(&hook);
+  ExecOutcome out = rt->interp().invoke(*find_method(*rt, "Lt/A;", "f"), {});
+  ASSERT_TRUE(out.completed) << out.exception_type << out.exception_message;
+  EXPECT_EQ(out.ret.i, 42);
+  ASSERT_EQ(hook.targets.size(), 1u);
+  EXPECT_EQ(hook.targets[0], "Lt/T;->answer");
+}
+
+TEST(Interp, FrameworkTaintMarshalling) {
+  // setTag/getTag round trip: taint survives by default, is stripped in the
+  // TaintDroid/TaintART configuration.
+  for (bool through : {true, false}) {
+    dex::DexBuilder b;
+    uint32_t src = b.intern_method("Ldexlego/api/Source;", "secret",
+                                   "Ljava/lang/String;", {});
+    uint32_t find_view = b.intern_method("Landroid/app/Activity;", "findViewById",
+                                         "Landroid/view/View;", {"I"});
+    uint32_t set_tag = b.intern_method("Landroid/view/View;", "setTag", "V",
+                                       {"Ljava/lang/Object;"});
+    uint32_t get_tag = b.intern_method("Landroid/view/View;", "getTag",
+                                       "Ljava/lang/Object;", {});
+    uint32_t log_i = b.intern_method("Landroid/util/Log;", "i", "V",
+                                     {"Ljava/lang/String;"});
+    b.start_class("Lt/A;", "Landroid/app/Activity;");
+    MethodAssembler as(4, 1);  // this in v3
+    as.const16(0, 7);
+    as.invoke(Op::kInvokeVirtual, static_cast<uint16_t>(find_view), {3, 0});
+    as.move_result(0);  // view
+    as.invoke(Op::kInvokeStatic, static_cast<uint16_t>(src), {});
+    as.move_result(1);
+    as.invoke(Op::kInvokeVirtual, static_cast<uint16_t>(set_tag), {0, 1});
+    as.invoke(Op::kInvokeVirtual, static_cast<uint16_t>(get_tag), {0});
+    as.move_result(2);
+    as.invoke(Op::kInvokeStatic, static_cast<uint16_t>(log_i), {2});
+    as.return_void();
+    b.add_virtual_method("leak", "V", {}, as.finish());
+
+    RuntimeConfig cfg;
+    cfg.taint_through_framework = through;
+    auto rt = runtime_with(std::move(b).build(), cfg);
+    RtClass* cls = rt->linker().resolve("Lt/A;");
+    Object* self = rt->heap().new_instance(cls, cls->descriptor,
+                                           cls->instance_slot_count);
+    rt->interp().invoke(*cls->find_declared("leak"), {Value::Ref(self)});
+    if (through) {
+      EXPECT_EQ(rt->leaks().size(), 1u) << "taint should survive the framework";
+    } else {
+      EXPECT_TRUE(rt->leaks().empty()) << "TaintDroid-mode loses tag taint";
+      EXPECT_EQ(rt->sink_events().size(), 1u);  // the call still happened
+    }
+  }
+}
+
+TEST(Interp, StepLimitAborts) {
+  dex::DexBuilder b;
+  b.start_class("Lt/A;");
+  MethodAssembler as(1, 0);
+  auto loop = as.make_label();
+  as.bind(loop);
+  as.goto_(loop);  // infinite
+  b.add_direct_method("spin", "V", {}, as.finish());
+  RuntimeConfig cfg;
+  cfg.step_limit = 10'000;
+  auto rt = runtime_with(std::move(b).build(), cfg);
+  ExecOutcome out = rt->interp().invoke(*find_method(*rt, "Lt/A;", "spin"), {});
+  EXPECT_TRUE(out.aborted);
+}
+
+TEST(Interp, NullPointerOnVirtualCall) {
+  dex::DexBuilder b;
+  uint32_t m = b.intern_method("Lt/A;", "foo", "V", {});
+  b.start_class("Lt/A;");
+  {
+    MethodAssembler as(1, 1);
+    as.return_void();
+    b.add_virtual_method("foo", "V", {}, as.finish());
+  }
+  {
+    MethodAssembler as(1, 0);
+    as.const_null(0);
+    as.invoke(Op::kInvokeVirtual, static_cast<uint16_t>(m), {0});
+    as.return_void();
+    b.add_direct_method("f", "V", {}, as.finish());
+  }
+  auto rt = runtime_with(std::move(b).build());
+  ExecOutcome out = rt->interp().invoke(*find_method(*rt, "Lt/A;", "f"), {});
+  EXPECT_TRUE(out.uncaught);
+  EXPECT_EQ(out.exception_type, "Ljava/lang/NullPointerException;");
+}
+
+TEST(Runtime, LaunchLifecycleAndClick) {
+  dex::DexBuilder b;
+  uint32_t set_cv = b.intern_method("Landroid/app/Activity;", "setContentView",
+                                    "V", {"I"});
+  uint32_t find_view = b.intern_method("Landroid/app/Activity;", "findViewById",
+                                       "Landroid/view/View;", {"I"});
+  uint32_t set_click = b.intern_method("Landroid/view/View;", "setOnClickListener",
+                                       "V", {"Ljava/lang/Object;"});
+  uint32_t src = b.intern_method("Ldexlego/api/Source;", "secret",
+                                 "Ljava/lang/String;", {});
+  uint32_t log_i = b.intern_method("Landroid/util/Log;", "i", "V",
+                                   {"Ljava/lang/String;"});
+  b.start_class("Lapp/Main;", "Landroid/app/Activity;");
+  b.add_instance_field("data", "Ljava/lang/String;");
+  uint32_t fdata = b.intern_field("Lapp/Main;", "Ljava/lang/String;", "data");
+  {
+    // onCreate: setContentView(1); findViewById(7).setOnClickListener(this);
+    //           this.data = secret();
+    MethodAssembler as(3, 1);  // this in v2
+    as.const16(0, 1);
+    as.invoke(Op::kInvokeVirtual, static_cast<uint16_t>(set_cv), {2, 0});
+    as.const16(0, 7);
+    as.invoke(Op::kInvokeVirtual, static_cast<uint16_t>(find_view), {2, 0});
+    as.move_result(0);
+    as.invoke(Op::kInvokeVirtual, static_cast<uint16_t>(set_click), {0, 2});
+    as.invoke(Op::kInvokeStatic, static_cast<uint16_t>(src), {});
+    as.move_result(1);
+    as.iput(1, 2, static_cast<uint16_t>(fdata));
+    as.return_void();
+    b.add_virtual_method("onCreate", "V", {}, as.finish());
+  }
+  {
+    // onClick(View): Log.i(this.data)
+    MethodAssembler as(3, 2);  // this in v1, view in v2
+    as.iget(0, 1, static_cast<uint16_t>(fdata));
+    as.invoke(Op::kInvokeStatic, static_cast<uint16_t>(log_i), {0});
+    as.return_void();
+    b.add_virtual_method("onClick", "V", {"Landroid/view/View;"}, as.finish());
+  }
+
+  dex::Apk apk;
+  dex::Manifest manifest;
+  manifest.package = "app";
+  manifest.entry_class = "Lapp/Main;";
+  manifest.version = "1.0";
+  apk.set_manifest(manifest);
+  apk.set_classes(dex::write_dex(std::move(b).build()));
+
+  Runtime rt;
+  rt.install(std::move(apk));
+  ExecOutcome out = rt.launch();
+  ASSERT_TRUE(out.completed) << out.abort_reason << out.exception_type;
+  ASSERT_EQ(rt.ui_clickable_ids(), std::vector<int>{7});
+  EXPECT_TRUE(rt.leaks().empty());  // leak only fires on the click
+  out = rt.fire_click(7);
+  ASSERT_TRUE(out.completed) << out.abort_reason;
+  ASSERT_EQ(rt.leaks().size(), 1u);
+  EXPECT_EQ(rt.leaks()[0].sink, "log");
+}
+
+TEST(Runtime, DynamicDexLoadingFromAsset) {
+  // Shell app loads an encrypted secondary DEX from assets, then reflects
+  // into it — the standard packer release flow.
+  dex::DexBuilder payload;
+  payload.start_class("Lhidden/P;");
+  {
+    MethodAssembler as(1, 0);
+    as.const16(0, 1234);
+    as.return_value(0);
+    payload.add_direct_method("value", "I", {}, as.finish());
+  }
+  std::vector<uint8_t> payload_bytes = dex::write_dex(std::move(payload).build());
+  // Encrypt with the rolling xor the loader reverses (key 42).
+  std::vector<uint8_t> enc = payload_bytes;
+  uint8_t rolling = 42;
+  for (uint8_t& byte : enc) {
+    byte ^= rolling;
+    rolling = static_cast<uint8_t>(rolling * 31 + 7);
+  }
+
+  dex::DexBuilder shell;
+  uint32_t load = shell.intern_method("Ldalvik/system/DexClassLoader;",
+                                      "loadFromAsset", "V",
+                                      {"Ljava/lang/String;", "I"});
+  uint32_t forname = shell.intern_method("Ljava/lang/Class;", "forName",
+                                         "Ljava/lang/Class;",
+                                         {"Ljava/lang/String;"});
+  uint32_t getm = shell.intern_method("Ljava/lang/Class;", "getMethod",
+                                      "Ljava/lang/reflect/Method;",
+                                      {"Ljava/lang/String;"});
+  uint32_t invoke_m = shell.intern_method("Ljava/lang/reflect/Method;", "invoke",
+                                          "Ljava/lang/Object;",
+                                          {"Ljava/lang/Object;"});
+  uint32_t asset_s = shell.intern_string("assets/payload.bin");
+  uint32_t cls_s = shell.intern_string("Lhidden/P;");
+  uint32_t m_s = shell.intern_string("value");
+  shell.start_class("Lshell/Main;", "Landroid/app/Activity;");
+  {
+    MethodAssembler as(3, 1);  // this in v2
+    as.const_string(0, static_cast<uint16_t>(asset_s));
+    as.const16(1, 42);
+    as.invoke(Op::kInvokeStatic, static_cast<uint16_t>(load), {0, 1});
+    as.const_string(0, static_cast<uint16_t>(cls_s));
+    as.invoke(Op::kInvokeStatic, static_cast<uint16_t>(forname), {0});
+    as.move_result(0);
+    as.const_string(1, static_cast<uint16_t>(m_s));
+    as.invoke(Op::kInvokeVirtual, static_cast<uint16_t>(getm), {0, 1});
+    as.move_result(0);
+    as.const_null(1);
+    as.invoke(Op::kInvokeVirtual, static_cast<uint16_t>(invoke_m), {0, 1});
+    as.move_result(0);
+    as.return_value(0);
+    shell.add_virtual_method("onCreate", "I", {}, as.finish());
+  }
+
+  dex::Apk apk;
+  dex::Manifest manifest;
+  manifest.package = "shell";
+  manifest.entry_class = "Lshell/Main;";
+  apk.set_manifest(manifest);
+  apk.set_classes(dex::write_dex(std::move(shell).build()));
+  apk.set_entry("assets/payload.bin", enc);
+
+  Runtime rt;
+  rt.install(std::move(apk));
+  RtClass* cls = rt.linker().ensure_initialized("Lshell/Main;");
+  ASSERT_NE(cls, nullptr);
+  Object* self = rt.heap().new_instance(cls, cls->descriptor,
+                                        cls->instance_slot_count);
+  ExecOutcome out =
+      rt.interp().invoke(*cls->find_declared("onCreate"), {Value::Ref(self)});
+  ASSERT_TRUE(out.completed) << out.exception_type << out.exception_message;
+  EXPECT_EQ(out.ret.i, 1234);  // reflected into the dynamically loaded class
+  // The second image is registered with the linker.
+  EXPECT_EQ(rt.linker().images().size(), 2u);
+  EXPECT_EQ(rt.linker().images()[1]->source, "dynamic:assets/payload.bin");
+}
+
+TEST(Runtime, IntentsCarryExtrasAcrossActivities) {
+  dex::DexBuilder b;
+  uint32_t src = b.intern_method("Ldexlego/api/Source;", "secret",
+                                 "Ljava/lang/String;", {});
+  uint32_t intent_t = b.intern_type("Landroid/content/Intent;");
+  uint32_t intent_init = b.intern_method("Landroid/content/Intent;", "<init>", "V",
+                                         {"Ljava/lang/String;"});
+  uint32_t put_extra = b.intern_method("Landroid/content/Intent;", "putExtra",
+                                       "Landroid/content/Intent;",
+                                       {"Ljava/lang/String;", "Ljava/lang/Object;"});
+  uint32_t start_act = b.intern_method("Landroid/app/Activity;", "startActivity",
+                                       "V", {"Landroid/content/Intent;"});
+  uint32_t get_intent = b.intern_method("Landroid/app/Activity;", "getIntent",
+                                        "Landroid/content/Intent;", {});
+  uint32_t get_extra = b.intern_method("Landroid/content/Intent;", "getStringExtra",
+                                       "Ljava/lang/String;", {"Ljava/lang/String;"});
+  uint32_t log_i = b.intern_method("Landroid/util/Log;", "i", "V",
+                                   {"Ljava/lang/String;"});
+  uint32_t second_s = b.intern_string("Lapp/Second;");
+  uint32_t key_s = b.intern_string("payload");
+
+  b.start_class("Lapp/First;", "Landroid/app/Activity;");
+  {
+    MethodAssembler as(4, 1);  // this in v3
+    as.new_instance(0, static_cast<uint16_t>(intent_t));
+    as.const_string(1, static_cast<uint16_t>(second_s));
+    as.invoke(Op::kInvokeDirect, static_cast<uint16_t>(intent_init), {0, 1});
+    as.const_string(1, static_cast<uint16_t>(key_s));
+    as.invoke(Op::kInvokeStatic, static_cast<uint16_t>(src), {});
+    as.move_result(2);
+    as.invoke(Op::kInvokeVirtual, static_cast<uint16_t>(put_extra), {0, 1, 2});
+    as.invoke(Op::kInvokeVirtual, static_cast<uint16_t>(start_act), {3, 0});
+    as.return_void();
+    b.add_virtual_method("onCreate", "V", {}, as.finish());
+  }
+  b.start_class("Lapp/Second;", "Landroid/app/Activity;");
+  {
+    MethodAssembler as(3, 1);  // this in v2
+    as.invoke(Op::kInvokeVirtual, static_cast<uint16_t>(get_intent), {2});
+    as.move_result(0);
+    as.const_string(1, static_cast<uint16_t>(key_s));
+    as.invoke(Op::kInvokeVirtual, static_cast<uint16_t>(get_extra), {0, 1});
+    as.move_result(0);
+    as.invoke(Op::kInvokeStatic, static_cast<uint16_t>(log_i), {0});
+    as.return_void();
+    b.add_virtual_method("onCreate", "V", {}, as.finish());
+  }
+
+  dex::Apk apk;
+  dex::Manifest manifest;
+  manifest.package = "app";
+  manifest.entry_class = "Lapp/First;";
+  apk.set_manifest(manifest);
+  apk.set_classes(dex::write_dex(std::move(b).build()));
+
+  Runtime rt;
+  rt.install(std::move(apk));
+  ExecOutcome out = rt.launch();
+  ASSERT_TRUE(out.completed) << out.abort_reason << out.exception_type;
+  ASSERT_EQ(rt.leaks().size(), 1u);  // taint crossed the intent boundary
+  EXPECT_EQ(rt.leaks()[0].sink, "log");
+}
+
+TEST(Runtime, TabletOnlyLeakRespectsDeviceProfile) {
+  dex::DexBuilder b;
+  uint32_t is_tablet = b.intern_method("Landroid/os/Build;", "isTablet", "I", {});
+  uint32_t src = b.intern_method("Ldexlego/api/Source;", "secret",
+                                 "Ljava/lang/String;", {});
+  uint32_t log_i = b.intern_method("Landroid/util/Log;", "i", "V",
+                                   {"Ljava/lang/String;"});
+  b.start_class("Lt/A;");
+  MethodAssembler as(1, 0);
+  auto skip = as.make_label();
+  as.invoke(Op::kInvokeStatic, static_cast<uint16_t>(is_tablet), {});
+  as.move_result(0);
+  as.if_testz(Op::kIfEqz, 0, skip);
+  as.invoke(Op::kInvokeStatic, static_cast<uint16_t>(src), {});
+  as.move_result(0);
+  as.invoke(Op::kInvokeStatic, static_cast<uint16_t>(log_i), {0});
+  as.bind(skip);
+  as.return_void();
+  b.add_direct_method("f", "V", {}, as.finish());
+  dex::DexFile file = std::move(b).build();
+
+  for (auto device : {DeviceProfile::kPhone, DeviceProfile::kTablet}) {
+    RuntimeConfig cfg;
+    cfg.device = device;
+    auto rt = runtime_with(file, cfg);
+    rt->interp().invoke(*find_method(*rt, "Lt/A;", "f"), {});
+    if (device == DeviceProfile::kTablet) {
+      EXPECT_EQ(rt->leaks().size(), 1u);
+    } else {
+      EXPECT_TRUE(rt->leaks().empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dexlego::rt
