@@ -57,10 +57,10 @@ bool RtClass::is_subclass_of(const RtClass* ancestor) const {
   return false;
 }
 
-bool RtClass::has_framework_ancestor(std::string_view descriptor) const {
+bool RtClass::has_framework_ancestor(std::string_view ancestor_desc) const {
   for (const RtClass* cls = this; cls != nullptr; cls = cls->super) {
-    if (cls->super == nullptr && cls->super_descriptor == descriptor) return true;
-    if (cls->descriptor == descriptor) return true;
+    if (cls->super == nullptr && cls->super_descriptor == ancestor_desc) return true;
+    if (cls->descriptor == ancestor_desc) return true;
   }
   return false;
 }

@@ -110,7 +110,7 @@ struct RtClass {
   RtField* find_static_field(std::string_view name);
   // Whether `ancestor` is this class or a superclass of it.
   bool is_subclass_of(const RtClass* ancestor) const;
-  bool has_framework_ancestor(std::string_view descriptor) const;
+  bool has_framework_ancestor(std::string_view ancestor_desc) const;
 };
 
 }  // namespace dexlego::rt
