@@ -1,0 +1,231 @@
+// Property-style checks for src/support beyond the example-based seed suite:
+// randomized ByteWriter/ByteReader round trips, hash stability against
+// pinned vectors (a silent change to adler32/fnv1a would corrupt every LDEX
+// checksum and collection-tree fingerprint on disk), and RNG determinism.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/support/bytes.h"
+#include "src/support/hash.h"
+#include "src/support/rng.h"
+
+namespace dexlego::support {
+namespace {
+
+// One randomly typed scalar written then read back.
+using Token = std::variant<uint8_t, uint16_t, uint32_t, uint64_t, int32_t,
+                           int64_t, std::string, std::vector<uint8_t>>;
+
+Token random_token(Rng& rng) {
+  switch (rng.below(8)) {
+    case 0: return static_cast<uint8_t>(rng.next());
+    case 1: return static_cast<uint16_t>(rng.next());
+    case 2: return static_cast<uint32_t>(rng.next());
+    case 3: return rng.next();
+    case 4: return static_cast<int32_t>(rng.next());
+    case 5: return static_cast<int64_t>(rng.next());
+    case 6: {
+      std::string s;
+      for (uint64_t i = 0, n = rng.below(40); i < n; ++i) {
+        s.push_back(static_cast<char>(rng.range(0, 255)));
+      }
+      return s;
+    }
+    default: {
+      std::vector<uint8_t> b;
+      for (uint64_t i = 0, n = rng.below(64); i < n; ++i) {
+        b.push_back(static_cast<uint8_t>(rng.next()));
+      }
+      return b;
+    }
+  }
+}
+
+class BytesRoundTripProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BytesRoundTripProperty, RandomTokenSequencesRoundTrip) {
+  Rng rng(GetParam());
+  std::vector<Token> tokens;
+  ByteWriter w;
+  for (uint64_t i = 0, n = rng.below(200) + 1; i < n; ++i) {
+    Token t = random_token(rng);
+    std::visit(
+        [&w](const auto& v) {
+          using T = std::decay_t<decltype(v)>;
+          if constexpr (std::is_same_v<T, uint8_t>) w.u8(v);
+          else if constexpr (std::is_same_v<T, uint16_t>) w.u16(v);
+          else if constexpr (std::is_same_v<T, uint32_t>) w.u32(v);
+          else if constexpr (std::is_same_v<T, uint64_t>) w.u64(v);
+          else if constexpr (std::is_same_v<T, int32_t>) w.i32(v);
+          else if constexpr (std::is_same_v<T, int64_t>) w.i64(v);
+          else if constexpr (std::is_same_v<T, std::string>) w.str(v);
+          else w.bytes(v);
+        },
+        t);
+    tokens.push_back(std::move(t));
+  }
+
+  ByteReader r(w.data());
+  for (const Token& t : tokens) {
+    std::visit(
+        [&r](const auto& v) {
+          using T = std::decay_t<decltype(v)>;
+          if constexpr (std::is_same_v<T, uint8_t>) EXPECT_EQ(r.u8(), v);
+          else if constexpr (std::is_same_v<T, uint16_t>) EXPECT_EQ(r.u16(), v);
+          else if constexpr (std::is_same_v<T, uint32_t>) EXPECT_EQ(r.u32(), v);
+          else if constexpr (std::is_same_v<T, uint64_t>) EXPECT_EQ(r.u64(), v);
+          else if constexpr (std::is_same_v<T, int32_t>) EXPECT_EQ(r.i32(), v);
+          else if constexpr (std::is_same_v<T, int64_t>) EXPECT_EQ(r.i64(), v);
+          else if constexpr (std::is_same_v<T, std::string>) {
+            EXPECT_EQ(r.str(), v);
+          } else {
+            // bytes() is raw: the length is the caller's contract.
+            EXPECT_EQ(r.bytes(v.size()), v);
+          }
+        },
+        t);
+  }
+  EXPECT_TRUE(r.at_end());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BytesRoundTripProperty,
+                         ::testing::Range<uint64_t>(1, 33));
+
+// Alignment padding is zero-filled, position-correct and skippable.
+TEST(BytesProperty, AlignPadsWithZeros) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    ByteWriter w;
+    size_t n = rng.below(37);
+    for (size_t i = 0; i < n; ++i) w.u8(0xff);
+    size_t alignment = size_t{1} << rng.below(4);  // 1,2,4,8
+    w.align(alignment);
+    EXPECT_EQ(w.size() % alignment, 0u);
+    EXPECT_LT(w.size() - n, alignment);
+    for (size_t i = n; i < w.size(); ++i) EXPECT_EQ(w.data()[i], 0u);
+  }
+}
+
+// patch_u32 rewrites exactly four bytes and leaves the rest untouched.
+TEST(BytesProperty, PatchIsLocal) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    ByteWriter w;
+    size_t n = rng.below(64) + 8;
+    for (size_t i = 0; i < n; ++i) w.u8(static_cast<uint8_t>(rng.next()));
+    std::vector<uint8_t> before = w.data();
+    size_t at = rng.below(n - 3);
+    uint32_t v = static_cast<uint32_t>(rng.next());
+    w.patch_u32(at, v);
+    ByteReader r(w.data());
+    r.seek(at);
+    EXPECT_EQ(r.u32(), v);
+    for (size_t i = 0; i < n; ++i) {
+      if (i < at || i >= at + 4) EXPECT_EQ(w.data()[i], before[i]) << i;
+    }
+  }
+}
+
+// Truncated buffers always raise ParseError, never read out of bounds.
+TEST(BytesProperty, TruncationRaisesParseError) {
+  ByteWriter w;
+  w.u32(1234);
+  w.str("hello world");
+  w.u64(5678);
+  const std::vector<uint8_t>& full = w.data();
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    std::span<const uint8_t> part(full.data(), cut);
+    ByteReader r(part);
+    EXPECT_THROW(
+        {
+          r.u32();
+          r.str();
+          r.u64();
+        },
+        ParseError)
+        << "cut=" << cut;
+  }
+}
+
+// --- hash stability: pinned vectors guard the on-disk formats ---
+
+TEST(HashStability, Adler32PinnedVectors) {
+  EXPECT_EQ(adler32({}), 1u);
+  const uint8_t wikipedia[] = {'W', 'i', 'k', 'i', 'p', 'e', 'd', 'i', 'a'};
+  EXPECT_EQ(adler32(wikipedia), 0x11E60398u);
+  std::vector<uint8_t> ramp(1 << 16);
+  for (size_t i = 0; i < ramp.size(); ++i) ramp[i] = static_cast<uint8_t>(i);
+  // Exercises the mod-65521 wraparound on a 64KiB input (values from
+  // zlib.adler32).
+  EXPECT_EQ(adler32(ramp), 0xbbba8772u);
+  EXPECT_EQ(adler32(std::span(ramp).subspan(1)), 0xbbb98772u);
+}
+
+TEST(HashStability, Fnv1aPinnedVectors) {
+  // Offset basis for the empty input, standard FNV-1a 64 test vectors.
+  EXPECT_EQ(fnv1a(std::string_view{}), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a(std::string_view{"a"}), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a(std::string_view{"foobar"}), 0x85944171f73967e8ull);
+}
+
+// The same logical content hashes identically across representations and
+// runs; different content collides with negligible probability.
+TEST(HashStability, Fnv1aConsistentAcrossOverloads) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string s;
+    for (uint64_t i = 0, n = rng.below(100); i < n; ++i) {
+      s.push_back(static_cast<char>(rng.range(0, 255)));
+    }
+    std::span<const uint8_t> bytes(
+        reinterpret_cast<const uint8_t*>(s.data()), s.size());
+    EXPECT_EQ(fnv1a(s), fnv1a(bytes));
+  }
+}
+
+TEST(HashStability, IncrementalCombinerIsOrderSensitive) {
+  Fnv1a a;
+  a.add(1);
+  a.add(2);
+  Fnv1a b;
+  b.add(2);
+  b.add(1);
+  EXPECT_NE(a.digest(), b.digest());
+  Fnv1a c;
+  c.add(1);
+  c.add(2);
+  EXPECT_EQ(a.digest(), c.digest());
+}
+
+// --- RNG determinism: generation must be reproducible run-to-run ---
+
+TEST(RngProperty, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngProperty, ForkedStreamsAreIndependentButDeterministic) {
+  Rng a(42), b(42);
+  Rng fa = a.fork(), fb = b.fork();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(fa.next(), fb.next());
+  // The fork differs from the parent's continued stream.
+  EXPECT_NE(Rng(42).fork().next(), Rng(42).next());
+}
+
+TEST(RngProperty, RangeStaysInBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t lo = static_cast<int64_t>(rng.range(-50, 50));
+    int64_t hi = lo + static_cast<int64_t>(rng.below(100));
+    int64_t v = rng.range(lo, hi);
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+  }
+}
+
+}  // namespace
+}  // namespace dexlego::support
