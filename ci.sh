@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: configure, build everything with -Werror on the
+# dexlego library, and run every registered test suite in parallel. A broken
+# build or a red suite exits non-zero, so this script is the merge gate.
+set -euo pipefail
+
+cd "$(dirname "$0")"
+
+BUILD_DIR="${BUILD_DIR:-build-ci}"
+JOBS="${JOBS:-$(nproc)}"
+
+cmake -B "$BUILD_DIR" -S . -DDEXLEGO_WERROR=ON
+cmake --build "$BUILD_DIR" -j "$JOBS"
+# (cd instead of --test-dir: the latter needs CTest >= 3.20, we claim 3.16.)
+cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS"
