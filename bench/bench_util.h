@@ -1,13 +1,23 @@
 // Shared helpers for the table-reproduction benches: fixed-width table
-// printing and paper-value annotations so every bench binary prints
-// "measured vs paper" rows.
+// printing, paper-value annotations so every bench binary prints "measured
+// vs paper" rows, and monotonic-clock timing (re-exported from
+// src/support/timer.h — the same helpers the batch-pipeline stats use, so
+// bench numbers and pipeline numbers come off the same clock).
 #pragma once
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "src/support/timer.h"
+
 namespace dexlego::bench {
+
+// Monotonic timing, shared with src/pipeline via src/support/timer.h.
+using support::MeanStd;
+using support::Stopwatch;
+using support::mean_std;
+using support::time_call_ms;
 
 inline void print_header(const std::string& title) {
   std::printf("\n==== %s ====\n", title.c_str());

@@ -7,7 +7,6 @@
 // Java / native / overall scores. Absolute values differ (our substrate is
 // a host interpreter, not a Nexus 5X); the shape — Java >> overall > native
 // — is the reproduction target.
-#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <vector>
@@ -20,13 +19,8 @@ using namespace dexlego;
 
 namespace {
 
-struct Timing {
-  double mean_ms = 0;
-  double stddev_ms = 0;
-};
-
-Timing measure(const dex::Apk& apk, bool with_collector, bool native_app,
-               int repetitions) {
+bench::MeanStd measure(const dex::Apk& apk, bool with_collector,
+                       bool native_app, int repetitions) {
   std::vector<double> times;
   for (int i = 0; i < repetitions; ++i) {
     rt::Runtime runtime;
@@ -34,17 +28,9 @@ Timing measure(const dex::Apk& apk, bool with_collector, bool native_app,
     core::Collector collector;
     if (with_collector) runtime.add_hooks(&collector);
     runtime.install(apk);
-    auto start = std::chrono::steady_clock::now();
-    runtime.launch();
-    auto end = std::chrono::steady_clock::now();
-    times.push_back(std::chrono::duration<double, std::milli>(end - start).count());
+    times.push_back(bench::time_call_ms([&] { runtime.launch(); }));
   }
-  Timing t;
-  for (double v : times) t.mean_ms += v;
-  t.mean_ms /= static_cast<double>(times.size());
-  for (double v : times) t.stddev_ms += (v - t.mean_ms) * (v - t.mean_ms);
-  t.stddev_ms = std::sqrt(t.stddev_ms / static_cast<double>(times.size()));
-  return t;
+  return bench::mean_std(times);
 }
 
 }  // namespace
@@ -55,26 +41,26 @@ int main() {
   suite::GeneratedApp native_app = suite::cfbench_native_app();
 
   bench::print_header("Fig. 6: Performance Measured by CF-Bench (analog)");
-  Timing java_base = measure(java_app.apk, false, false, kRuns);
-  Timing java_lego = measure(java_app.apk, true, false, kRuns);
-  Timing native_base = measure(native_app.apk, false, true, kRuns);
-  Timing native_lego = measure(native_app.apk, true, true, kRuns);
+  bench::MeanStd java_base = measure(java_app.apk, false, false, kRuns);
+  bench::MeanStd java_lego = measure(java_app.apk, true, false, kRuns);
+  bench::MeanStd native_base = measure(native_app.apk, false, true, kRuns);
+  bench::MeanStd native_lego = measure(native_app.apk, true, true, kRuns);
 
-  double java_overhead = java_lego.mean_ms / java_base.mean_ms;
-  double native_overhead = native_lego.mean_ms / native_base.mean_ms;
+  double java_overhead = java_lego.mean / java_base.mean;
+  double native_overhead = native_lego.mean / native_base.mean;
   double overall_overhead = std::sqrt(java_overhead * native_overhead);
 
   std::printf("%-10s %14s %18s %10s %s\n", "Score", "Unmodified ART",
               "With DexLego", "Overhead", "(paper overhead)");
   std::printf("%-10s %11.2f ms %15.2f ms %9.2fx %s\n", "Java",
-              java_base.mean_ms, java_lego.mean_ms, java_overhead, "7.5x");
+              java_base.mean, java_lego.mean, java_overhead, "7.5x");
   std::printf("%-10s %11.2f ms %15.2f ms %9.2fx %s\n", "Native",
-              native_base.mean_ms, native_lego.mean_ms, native_overhead, "1.4x");
+              native_base.mean, native_lego.mean, native_overhead, "1.4x");
   std::printf("%-10s %11s %15s %12.2fx %s\n", "Overall", "-", "-",
               overall_overhead, "2.3x");
   std::printf("\n(std dev: java %.2f/%.2f ms, native %.2f/%.2f ms over %d runs; "
               "shape target: Java >> overall > native)\n",
-              java_base.stddev_ms, java_lego.stddev_ms, native_base.stddev_ms,
-              native_lego.stddev_ms, kRuns);
+              java_base.stddev, java_lego.stddev, native_base.stddev,
+              native_lego.stddev, kRuns);
   return 0;
 }

@@ -1,0 +1,77 @@
+// Batch-pipeline throughput: runs the full DroidBench-analog set through
+// pipeline::run_batch at 1, 2, 4 and 8 threads and reports apps/sec, the
+// speedup over the sequential baseline and the dedup store's hit rate. Not
+// a paper table — this measures the fleet capability the ROADMAP asks for.
+//
+// Each line prefixed BENCH_JSON is machine-readable (one JSON object per
+// thread count) so throughput trajectories can be tracked across commits.
+//
+// Usage: pipeline_throughput [repeat]
+//   repeat (default 3) replicates the job list to lengthen the run; dedup
+//   hit rates climb with repeat because repeated apps intern identical
+//   method bodies.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/pipeline/batch.h"
+#include "src/pipeline/scenarios.h"
+
+using namespace dexlego;
+
+int main(int argc, char** argv) {
+  int repeat = argc > 1 ? std::atoi(argv[1]) : 3;
+  if (repeat < 1) repeat = 1;
+
+  std::vector<pipeline::BatchJob> jobs =
+      pipeline::replicate_jobs(pipeline::droidbench_jobs(), repeat);
+
+  bench::print_header("Batch pipeline throughput (DroidBench x" +
+                      std::to_string(repeat) + ", " +
+                      std::to_string(jobs.size()) + " jobs)");
+  std::printf("hardware threads available: %u\n\n",
+              std::thread::hardware_concurrency());
+  bench::print_row({"Threads", "Wall ms", "Apps/sec", "Speedup", "Dedup hit",
+                    "Verified"},
+                   {10, 12, 12, 10, 12, 10});
+
+  double sequential_ms = 0.0;
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    pipeline::BatchOptions options;
+    options.threads = threads;
+    options.keep_dex = false;  // throughput run; don't hold every DEX
+    pipeline::BatchReport report = pipeline::run_batch(jobs, options);
+    const pipeline::FleetStats& fleet = report.fleet;
+    if (threads == 1) sequential_ms = fleet.wall_ms;
+    double speedup =
+        fleet.wall_ms > 0.0 ? sequential_ms / fleet.wall_ms : 0.0;
+
+    char wall_s[24], rate_s[24], speed_s[16], hit_s[16], ver_s[16];
+    std::snprintf(wall_s, sizeof(wall_s), "%.1f", fleet.wall_ms);
+    std::snprintf(rate_s, sizeof(rate_s), "%.1f", fleet.apps_per_sec);
+    std::snprintf(speed_s, sizeof(speed_s), "%.2fx", speedup);
+    std::snprintf(hit_s, sizeof(hit_s), "%.1f%%",
+                  fleet.dedup_hit_rate * 100.0);
+    std::snprintf(ver_s, sizeof(ver_s), "%zu/%zu", fleet.verified, fleet.jobs);
+    bench::print_row({std::to_string(threads), wall_s, rate_s, speed_s, hit_s,
+                      ver_s},
+                     {10, 12, 12, 10, 12, 10});
+
+    std::printf(
+        "BENCH_JSON {\"bench\":\"pipeline_throughput\",\"threads\":%zu,"
+        "\"jobs\":%zu,\"wall_ms\":%.2f,\"apps_per_sec\":%.2f,"
+        "\"speedup_vs_1t\":%.3f,\"dedup_hit_rate\":%.4f,"
+        "\"store_entries\":%zu,\"bytes_deduped\":%llu,\"verified\":%zu}\n",
+        threads, fleet.jobs, fleet.wall_ms, fleet.apps_per_sec, speedup,
+        fleet.dedup_hit_rate, fleet.store.entries,
+        static_cast<unsigned long long>(fleet.store.bytes_deduped),
+        fleet.verified);
+  }
+  std::printf(
+      "\n(speedups track the cores the container actually grants; on a "
+      "single-core box every row is ~1x)\n");
+  return 0;
+}

@@ -5,8 +5,6 @@
 // Paper reference (ms): Snapchat 826.9±52.11 -> 1664.7±16.08, Instagram
 // 608.5±45.6 -> 1275.8±25.37, WhatsApp 236.4±12.24 -> 480.2±84.3 — about a
 // 2x slowdown; the reproduction target is the ratio, not absolute ms.
-#include <chrono>
-#include <cmath>
 #include <cstdio>
 #include <vector>
 
@@ -29,7 +27,7 @@ int main() {
   std::vector<suite::AppSpec> specs = suite::launch_apps();
   for (size_t i = 0; i < specs.size(); ++i) {
     suite::GeneratedApp app = suite::generate_app(specs[i]);
-    double mean[2] = {0, 0}, stddev[2] = {0, 0};
+    bench::MeanStd timing[2];
     for (int mode = 0; mode < 2; ++mode) {
       std::vector<double> times;
       for (int run = 0; run < kLaunches; ++run) {
@@ -37,23 +35,18 @@ int main() {
         core::Collector collector;
         if (mode == 1) runtime.add_hooks(&collector);
         runtime.install(app.apk);
-        auto start = std::chrono::steady_clock::now();
-        runtime.launch();  // ActivityManager-style init+display window
-        auto end = std::chrono::steady_clock::now();
-        times.push_back(
-            std::chrono::duration<double, std::milli>(end - start).count());
+        // ActivityManager-style init+display window.
+        times.push_back(bench::time_call_ms([&] { runtime.launch(); }));
       }
-      for (double v : times) mean[mode] += v;
-      mean[mode] /= static_cast<double>(times.size());
-      for (double v : times) {
-        stddev[mode] += (v - mean[mode]) * (v - mean[mode]);
-      }
-      stddev[mode] = std::sqrt(stddev[mode] / static_cast<double>(times.size()));
+      timing[mode] = bench::mean_std(times);
     }
     char orig_s[40], lego_s[40], ratio_s[16];
-    std::snprintf(orig_s, sizeof(orig_s), "%.2f / %.2f ms", mean[0], stddev[0]);
-    std::snprintf(lego_s, sizeof(lego_s), "%.2f / %.2f ms", mean[1], stddev[1]);
-    std::snprintf(ratio_s, sizeof(ratio_s), "%.2fx", mean[1] / mean[0]);
+    std::snprintf(orig_s, sizeof(orig_s), "%.2f / %.2f ms", timing[0].mean,
+                  timing[0].stddev);
+    std::snprintf(lego_s, sizeof(lego_s), "%.2f / %.2f ms", timing[1].mean,
+                  timing[1].stddev);
+    std::snprintf(ratio_s, sizeof(ratio_s), "%.2fx",
+                  timing[1].mean / timing[0].mean);
     bench::print_row({specs[i].package, orig_s, lego_s, ratio_s, paper[i]},
                      {26, 20, 20, 10, 22});
   }

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 verification gate: configure, build everything with -Werror on the
-# dexlego library, and run every registered test suite in parallel. A broken
-# build or a red suite exits non-zero, so this script is the merge gate.
+# Tier-1 verification gate: docs checks, configure, build everything with
+# -Werror on the dexlego library, run every registered test suite in
+# parallel, then smoke the batch pipeline. A broken build, a red suite or a
+# stale doc exits non-zero, so this script is the merge gate.
 set -euo pipefail
 
 cd "$(dirname "$0")"
@@ -9,7 +10,37 @@ cd "$(dirname "$0")"
 BUILD_DIR="${BUILD_DIR:-build-ci}"
 JOBS="${JOBS:-$(nproc)}"
 
+# --- docs gate -------------------------------------------------------------
+# 1. Every public header must open with a file doc comment.
+docs_failed=0
+for header in src/*/*.h; do
+  if ! head -1 "$header" | grep -q '^//'; then
+    echo "docs gate: $header lacks a file doc comment" >&2
+    docs_failed=1
+  fi
+done
+# 2. Every repo path ARCHITECTURE.md references (backticked, under a known
+#    top-level dir) must exist, so the map can't silently rot.
+while IFS= read -r ref; do
+  if [ ! -e "$ref" ]; then
+    echo "docs gate: docs/ARCHITECTURE.md references missing path: $ref" >&2
+    docs_failed=1
+  fi
+done < <(grep -oE '`(src|tests|bench|examples|docs)/[A-Za-z0-9_./-]*`' \
+           docs/ARCHITECTURE.md | tr -d '\`' | sort -u)
+if [ "$docs_failed" -ne 0 ]; then
+  echo "docs gate failed" >&2
+  exit 1
+fi
+echo "docs gate passed"
+
+# --- build + tests ---------------------------------------------------------
 cmake -B "$BUILD_DIR" -S . -DDEXLEGO_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$JOBS"
 # (cd instead of --test-dir: the latter needs CTest >= 3.20, we claim 3.16.)
-cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS"
+(cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS")
+
+# --- pipeline smoke --------------------------------------------------------
+# A tiny batch on 2 workers, byte-compared against the sequential path.
+"$BUILD_DIR"/examples/dexlego_batch --scenario generated --count 4 \
+  --threads 2 --compare-sequential --quiet

@@ -217,14 +217,14 @@ void Collector::finish_activation(Activation& act) {
   if (it == output_.methods.end()) return;
   MethodRecord& rec = it->second;
   uint64_t fp = act.root->fingerprint();
-  for (const auto& tree : rec.trees) {
-    if (tree->fingerprint() == fp) return;  // keep unique trees only
-  }
+  std::set<uint64_t>& seen = tree_fingerprints_[act.key];
+  if (seen.contains(fp)) return;  // keep unique trees only
   if (rec.trees.size() >= options_.max_variants) {
     ++rec.dropped_trees;
     DL_DEBUG << "variant cap reached for " << rec.key.pretty();
     return;
   }
+  seen.insert(fp);
   rec.trees.push_back(std::move(act.root));
 }
 
@@ -264,6 +264,9 @@ CollectionOutput Collector::take_output() {
     finish_activation(stack_.back());
     stack_.pop_back();
   }
+  // The fingerprint cache mirrors output_.methods[...].trees, which the move
+  // empties — drop it so a reused Collector dedups against reality.
+  tree_fingerprints_.clear();
   return std::move(output_);
 }
 

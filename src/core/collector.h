@@ -6,9 +6,12 @@
 //
 // A Collector outlives individual Runtime instances: force execution and
 // fuzzing run the app many times, and trees accumulate per MethodKey across
-// runs (unique trees only, capped by `max_variants`).
+// runs (unique trees only, capped by `max_variants`). Uniqueness is decided
+// against a cached per-method fingerprint set, the in-collector half of the
+// dedup that pipeline::DedupStore extends across apps and worker threads.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <set>
 #include <vector>
@@ -57,6 +60,10 @@ class Collector : public rt::RuntimeHooks {
   CollectionOutput output_;
   std::vector<Activation> stack_;
   std::set<std::string> seen_classes_;
+  // Fingerprints of the trees already stored per method — mirrors
+  // output_.methods[key].trees so finish_activation dedups in O(log n)
+  // instead of re-hashing every stored tree.
+  std::map<MethodKey, std::set<uint64_t>> tree_fingerprints_;
 };
 
 // Builds the symbolic form of the pool operand of the instruction at `pc`

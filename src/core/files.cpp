@@ -109,6 +109,12 @@ MethodKey read_key(ByteReader& r) {
 
 }  // namespace
 
+std::vector<uint8_t> serialize_tree(const TreeNode& tree) {
+  ByteWriter w;
+  write_tree(w, tree);
+  return w.take();
+}
+
 CollectionFiles encode_collection(const CollectionOutput& output) {
   CollectionFiles files;
 

@@ -36,4 +36,9 @@ struct CollectionFiles {
 CollectionFiles encode_collection(const CollectionOutput& output);
 CollectionOutput decode_collection(const CollectionFiles& files);
 
+// Canonical byte form of one collection tree — the same encoding the
+// bytecode file uses per tree. This is the content the batch pipeline's
+// DedupStore keys on: equal trees serialize to equal bytes.
+std::vector<uint8_t> serialize_tree(const TreeNode& tree);
+
 }  // namespace dexlego::core

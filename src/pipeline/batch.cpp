@@ -1,0 +1,147 @@
+#include "src/pipeline/batch.h"
+
+#include <atomic>
+#include <thread>
+
+#include "src/coverage/tracker.h"
+#include "src/dex/io.h"
+#include "src/support/hash.h"
+#include "src/support/timer.h"
+
+namespace dexlego::pipeline {
+
+namespace {
+
+JobResult run_one(const BatchJob& job, DedupStore& store, bool keep_dex) {
+  JobResult result;
+  result.name = job.name;
+  result.scenario = job.scenario;
+  result.expect_leak = job.expect_leak;
+
+  support::Stopwatch wall;
+  double cpu_start = support::thread_cpu_ms();
+  try {
+    coverage::CoverageTracker tracker;
+    size_t leaks = 0;
+
+    core::DexLegoOptions options = job.reveal;
+    auto base_configure = options.configure_runtime;
+    options.configure_runtime = [&, base_configure](rt::Runtime& runtime) {
+      if (base_configure) base_configure(runtime);
+      if (job.configure_runtime) job.configure_runtime(runtime);
+      runtime.add_hooks(&tracker);
+    };
+    auto base_driver = options.driver;
+    options.driver = [&](rt::Runtime& runtime, int run_index) {
+      if (base_driver) {
+        base_driver(runtime, run_index);
+      } else {
+        core::default_driver(runtime, run_index);
+      }
+      leaks += runtime.leaks().size();
+    };
+
+    core::DexLego dexlego(options);
+    core::RevealResult reveal = dexlego.reveal(job.apk);
+
+    InternedCollection interned = intern_collection(reveal.collection, store);
+    result.dedup_hits = interned.hits;
+    result.dedup_misses = interned.misses;
+
+    result.verified = reveal.verified;
+    result.leaks_observed = leaks;
+    result.reassemble = reveal.stats;
+    result.collection_bytes = reveal.files.total_size();
+
+    const std::vector<uint8_t>& dex_bytes = reveal.revealed_apk.classes();
+    result.dex_fingerprint = support::fnv1a(dex_bytes);
+    if (keep_dex) result.dex = dex_bytes;
+
+    // Coverage of the *original* image. Meaningless for packed inputs whose
+    // classes.ldex is the shell stub, so a parse failure just leaves 0.
+    try {
+      dex::DexFile original = dex::read_dex(job.apk.classes());
+      result.instruction_coverage = tracker.report(original).instruction_pct();
+    } catch (const std::exception&) {
+    }
+
+    result.ok = true;
+  } catch (const std::exception& e) {
+    result.error = e.what();
+  } catch (...) {
+    result.error = "unknown exception";
+  }
+  result.wall_ms = wall.elapsed_ms();
+  result.cpu_ms = support::thread_cpu_ms() - cpu_start;
+  return result;
+}
+
+}  // namespace
+
+BatchReport run_batch(const std::vector<BatchJob>& jobs,
+                      const BatchOptions& options) {
+  size_t threads = options.threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  if (threads > jobs.size() && !jobs.empty()) threads = jobs.size();
+
+  DedupStore local_store;
+  DedupStore& store = options.store != nullptr ? *options.store : local_store;
+
+  BatchReport report;
+  report.jobs.resize(jobs.size());
+  support::Stopwatch wall;
+
+  if (threads <= 1) {
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      report.jobs[i] = run_one(jobs[i], store, options.keep_dex);
+    }
+  } else {
+    // Work queue: a shared cursor; each worker claims the next unclaimed job
+    // so long jobs don't serialize behind a static partition.
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (size_t t = 0; t < threads; ++t) {
+      pool.emplace_back([&]() {
+        for (size_t i = next.fetch_add(1); i < jobs.size();
+             i = next.fetch_add(1)) {
+          report.jobs[i] = run_one(jobs[i], store, options.keep_dex);
+        }
+      });
+    }
+    for (std::thread& worker : pool) worker.join();
+  }
+
+  FleetStats& fleet = report.fleet;
+  fleet.wall_ms = wall.elapsed_ms();
+  fleet.threads = threads;
+  fleet.jobs = jobs.size();
+  for (const JobResult& job : report.jobs) {
+    if (job.ok) ++fleet.ok;
+    if (job.verified) ++fleet.verified;
+    if (job.expect_leak) ++fleet.expected_leaky;
+    if (job.leaks_observed > 0) ++fleet.observed_leaky;
+    fleet.mean_instruction_coverage += job.instruction_coverage;
+    fleet.dedup_hits += job.dedup_hits;
+    fleet.dedup_misses += job.dedup_misses;
+    fleet.cpu_ms += job.cpu_ms;
+  }
+  if (fleet.jobs > 0) {
+    fleet.mean_instruction_coverage /= static_cast<double>(fleet.jobs);
+  }
+  uint64_t interns = fleet.dedup_hits + fleet.dedup_misses;
+  fleet.dedup_hit_rate =
+      interns == 0 ? 0.0
+                   : static_cast<double>(fleet.dedup_hits) /
+                         static_cast<double>(interns);
+  fleet.store = store.stats();
+  if (fleet.wall_ms > 0.0) {
+    fleet.apps_per_sec =
+        static_cast<double>(fleet.jobs) / (fleet.wall_ms / 1000.0);
+  }
+  return report;
+}
+
+}  // namespace dexlego::pipeline

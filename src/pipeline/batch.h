@@ -1,0 +1,110 @@
+// Batch extraction pipeline — shards N input apps across a worker thread
+// pool and runs the full DexLego loop (paper Fig. 1) per app:
+//
+//   collect (instrumented execution, Section IV-A)
+//   -> dedup  (intern collected trees into a shared DedupStore)
+//   -> reassemble (offline, Section IV-B)
+//   -> verify (structural + instruction-level DEX verification)
+//
+// Jobs are independent: each worker builds its own Runtime/Collector, so the
+// per-app output is byte-identical whether the batch runs on 1 thread or 16
+// (asserted by tests/pipeline_test.cpp). The only shared state is the
+// content-addressed DedupStore and the job queue cursor. Per-app and
+// fleet-wide stats (coverage, leak counts, dedup hit rate, wall/CPU time)
+// ride along in the report; bench/pipeline_throughput.cpp turns them into
+// throughput trajectories.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/dexlego.h"
+#include "src/dex/archive.h"
+#include "src/pipeline/dedup_store.h"
+
+namespace dexlego::pipeline {
+
+// One unit of work: an app plus everything needed to execute it.
+struct BatchJob {
+  std::string name;
+  std::string scenario = "custom";  // "droidbench", "generated", "packed", ...
+  dex::Apk apk;
+  // Registers the sample's native methods on every runtime the job creates.
+  std::function<void(rt::Runtime&)> configure_runtime;
+  // Per-job reveal options (driver, runs, collector/reassemble tuning).
+  core::DexLegoOptions reveal;
+  bool expect_leak = false;  // ground truth when the scenario knows it
+};
+
+// Everything measured about one job. `dex` is the reassembled classes.ldex
+// (the byte-identity anchor); dedup hit/miss attribution depends on worker
+// scheduling — see docs/PIPELINE.md — but all other fields are deterministic.
+struct JobResult {
+  std::string name;
+  std::string scenario;
+  bool ok = false;     // worker finished without an exception
+  std::string error;   // exception text when !ok
+  bool expect_leak = false;
+
+  bool verified = false;              // reassembled DEX passed the verifier
+  size_t leaks_observed = 0;          // leaks seen during collection runs
+  double instruction_coverage = 0.0;  // of the original DEX, collection runs
+  core::ReassembleStats reassemble;
+  size_t collection_bytes = 0;  // five-file total (Table VI metric)
+  uint64_t dedup_hits = 0;
+  uint64_t dedup_misses = 0;
+
+  uint64_t dex_fingerprint = 0;  // fnv1a of `dex`
+  std::vector<uint8_t> dex;      // revealed classes.ldex (empty if !keep_dex)
+
+  double wall_ms = 0.0;
+  double cpu_ms = 0.0;  // worker-thread CPU time
+};
+
+// Fleet-wide aggregation. Deterministic across thread counts except the
+// wall/CPU timings and apps_per_sec.
+struct FleetStats {
+  size_t threads = 0;
+  size_t jobs = 0;
+  size_t ok = 0;
+  size_t verified = 0;
+  size_t expected_leaky = 0;
+  size_t observed_leaky = 0;  // jobs with leaks_observed > 0
+  double mean_instruction_coverage = 0.0;
+
+  DedupStore::Stats store;  // snapshot after the batch
+  uint64_t dedup_hits = 0;  // this batch's interns only
+  uint64_t dedup_misses = 0;
+  double dedup_hit_rate = 0.0;
+
+  double wall_ms = 0.0;  // whole-batch wall time
+  double cpu_ms = 0.0;   // summed worker CPU time
+  double apps_per_sec = 0.0;
+};
+
+struct BatchReport {
+  std::vector<JobResult> jobs;  // index-aligned with the input job list
+  FleetStats fleet;
+};
+
+struct BatchOptions {
+  // 0 = one worker per hardware thread. 1 = run inline on the caller thread
+  // (the sequential baseline the tests compare against).
+  size_t threads = 0;
+  // Shared store to intern into; batches sharing one store dedup across
+  // batches too. nullptr = a private store per run_batch call.
+  DedupStore* store = nullptr;
+  // Keep the reassembled DEX bytes in each JobResult (fingerprints are
+  // always kept). Turn off for huge fleets to bound memory.
+  bool keep_dex = true;
+};
+
+// Runs every job and returns per-job results in input order plus fleet
+// stats. Never throws for job failures: a worker exception lands in
+// JobResult::{ok,error} and the remaining jobs still run.
+BatchReport run_batch(const std::vector<BatchJob>& jobs,
+                      const BatchOptions& options = {});
+
+}  // namespace dexlego::pipeline

@@ -1,0 +1,74 @@
+#include "src/pipeline/dedup_store.h"
+
+#include <stdexcept>
+
+#include "src/core/files.h"
+#include "src/support/hash.h"
+#include "src/support/log.h"
+
+namespace dexlego::pipeline {
+
+DedupStore::InternResult DedupStore::intern(std::span<const uint8_t> content) {
+  return intern(std::vector<uint8_t>(content.begin(), content.end()));
+}
+
+DedupStore::InternResult DedupStore::intern(std::vector<uint8_t>&& content) {
+  Id id = support::fnv1a(content);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    if (it->second != content) {
+      // 64-bit FNV collision. FNV-1a is non-cryptographic and our input
+      // domain includes hostile apps, so aliasing the two contents under one
+      // id would be silent corruption — fail loudly instead; the batch
+      // worker contains the throw to this one job.
+      ++stats_.collisions;
+      DL_ERROR << "dedup store hash collision on id " << id;
+      throw std::runtime_error(
+          "DedupStore: content hash collision on id " + std::to_string(id));
+    }
+    ++stats_.hits;
+    stats_.bytes_deduped += content.size();
+    return {id, false};
+  }
+  stats_.bytes_stored += content.size();
+  entries_.emplace(id, std::move(content));
+  ++stats_.misses;
+  stats_.entries = entries_.size();
+  return {id, true};
+}
+
+const std::vector<uint8_t>* DedupStore::lookup(Id id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+DedupStore::Stats DedupStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+InternedCollection intern_collection(const core::CollectionOutput& output,
+                                     DedupStore& store) {
+  InternedCollection interned;
+  for (const auto& [key, rec] : output.methods) {
+    std::vector<DedupStore::Id>& ids = interned.tree_ids[key];
+    for (const auto& tree : rec.trees) {
+      // serialize_tree returns a fresh buffer, so this binds the
+      // ownership-taking overload: a miss moves instead of copying inside
+      // the store mutex.
+      DedupStore::InternResult result =
+          store.intern(core::serialize_tree(*tree));
+      ids.push_back(result.id);
+      if (result.inserted) {
+        ++interned.misses;
+      } else {
+        ++interned.hits;
+      }
+    }
+  }
+  return interned;
+}
+
+}  // namespace dexlego::pipeline

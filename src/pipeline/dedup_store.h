@@ -1,0 +1,87 @@
+// Thread-safe, content-addressed store for collected method bodies — the
+// dedup stage of the batch pipeline (docs/PIPELINE.md). Generalizes the
+// per-method unique-tree check the Collector performs during one app's runs
+// (paper Section IV-A: only unique collection trees are kept) to the fleet
+// level: serialized trees are keyed by content hash (support/hash FNV-1a),
+// so identical method bodies collected from different apps, repeated
+// executions or packed/unpacked variants of the same program are stored
+// once, no matter which worker thread gets there first.
+//
+// Ids are the 64-bit content hash itself, so they are stable across runs,
+// thread counts and insertion orders — the property tests/pipeline_test.cpp
+// asserts under concurrent insert.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/collection.h"
+
+namespace dexlego::pipeline {
+
+class DedupStore {
+ public:
+  // Content-hash id. Stable: the same bytes always intern to the same id.
+  using Id = uint64_t;
+
+  struct InternResult {
+    Id id = 0;
+    bool inserted = false;  // false = content was already present (a hit)
+  };
+
+  // Interns `content`, storing a copy only on first sight. Thread-safe.
+  // Throws std::runtime_error on a detected 64-bit hash collision (two
+  // different contents, one id): FNV-1a is non-cryptographic and the input
+  // domain includes hostile apps, so the store refuses to alias rather than
+  // silently serve the wrong body.
+  InternResult intern(std::span<const uint8_t> content);
+  // Ownership-taking variant: a miss moves the buffer into the store
+  // instead of copying it inside the store mutex.
+  InternResult intern(std::vector<uint8_t>&& content);
+
+  // Stored bytes for an id, or nullptr. The pointer stays valid for the
+  // store's lifetime (entries are never erased; the map is node-based).
+  const std::vector<uint8_t>* lookup(Id id) const;
+
+  struct Stats {
+    size_t entries = 0;          // unique contents stored
+    uint64_t hits = 0;           // interns that found existing content
+    uint64_t misses = 0;         // interns that stored new content
+    uint64_t bytes_stored = 0;   // sum of unique content sizes
+    uint64_t bytes_deduped = 0;  // bytes NOT stored thanks to hits
+    uint64_t collisions = 0;     // same hash, different bytes (pathological)
+
+    double hit_rate() const {
+      uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                    static_cast<double>(total);
+    }
+  };
+  Stats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<Id, std::vector<uint8_t>> entries_;
+  Stats stats_;
+};
+
+// Result of interning one app's collection output: the tree ids per method,
+// plus this call's hit/miss split. Which app pays the miss for a shared body
+// depends on worker scheduling; only fleet-wide totals are deterministic
+// (see docs/PIPELINE.md).
+struct InternedCollection {
+  std::map<core::MethodKey, std::vector<DedupStore::Id>> tree_ids;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+};
+
+// Serializes every collection tree of `output` (core::serialize_tree) and
+// interns it into `store`.
+InternedCollection intern_collection(const core::CollectionOutput& output,
+                                     DedupStore& store);
+
+}  // namespace dexlego::pipeline

@@ -1,0 +1,143 @@
+#include "src/pipeline/scenarios.h"
+
+#include "src/benchsuite/appgen.h"
+#include "src/benchsuite/droidbench.h"
+#include "src/packer/packer.h"
+#include "src/unpackers/unpackers.h"
+
+namespace dexlego::pipeline {
+
+namespace {
+
+// The packed-scenario sample set mirrors the differential suite's packed
+// parameterization: replayable samples spanning clicks, ICC, lifecycle,
+// dynamic loading and a benign control.
+const char* const kPackableSamples[] = {"Straight1", "Button1",
+                                        "Icc1",      "Lifecycle7",
+                                        "DynLoad1",  "PrivateDataLeak3",
+                                        "Clean1"};
+
+std::function<void(rt::Runtime&)> with_packer_natives(
+    std::function<void(rt::Runtime&)> sample_configure) {
+  return [sample_configure = std::move(sample_configure)](rt::Runtime& rt) {
+    packer::register_packer_natives(rt);
+    if (sample_configure) sample_configure(rt);
+  };
+}
+
+}  // namespace
+
+std::vector<BatchJob> droidbench_jobs() {
+  suite::DroidBench bench = suite::build_droidbench();
+  std::vector<BatchJob> jobs;
+  jobs.reserve(bench.samples.size());
+  for (suite::Sample& sample : bench.samples) {
+    BatchJob job;
+    job.name = sample.name;
+    job.scenario = "droidbench";
+    job.apk = std::move(sample.apk);
+    job.configure_runtime = std::move(sample.configure_runtime);
+    job.expect_leak = sample.leaky;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+std::vector<BatchJob> generated_jobs(size_t count, uint64_t seed0,
+                                     size_t units) {
+  std::vector<BatchJob> jobs;
+  jobs.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    suite::AppSpec spec;
+    spec.seed = seed0 + i;
+    spec.name = "gen-s" + std::to_string(spec.seed);
+    spec.package = "gen.s" + std::to_string(spec.seed);
+    spec.target_units = units;
+    spec.full_coverage_style = true;
+
+    BatchJob job;
+    job.name = spec.name;
+    job.scenario = "generated";
+    job.apk = suite::generate_app(spec).apk;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+std::vector<BatchJob> packed_jobs() {
+  suite::DroidBench bench = suite::build_droidbench();
+  std::vector<BatchJob> jobs;
+  for (const packer::PackerSpec& spec : packer::table1_packers()) {
+    if (!spec.available()) continue;
+    for (const char* name : kPackableSamples) {
+      const suite::Sample* sample = bench.find(name);
+      if (sample == nullptr) continue;
+      std::optional<dex::Apk> packed = packer::pack(sample->apk, spec);
+      if (!packed.has_value()) continue;
+
+      BatchJob job;
+      job.name = spec.vendor + "/" + sample->name;
+      job.scenario = "packed";
+      job.apk = std::move(*packed);
+      job.configure_runtime = with_packer_natives(sample->configure_runtime);
+      job.expect_leak = sample->leaky;
+      jobs.push_back(std::move(job));
+    }
+  }
+  return jobs;
+}
+
+std::vector<BatchJob> unpacker_baseline_jobs() {
+  suite::DroidBench bench = suite::build_droidbench();
+  packer::PackerSpec spec = packer::packer_360();
+  std::vector<BatchJob> jobs;
+  for (const char* name : kPackableSamples) {
+    const suite::Sample* sample = bench.find(name);
+    if (sample == nullptr) continue;
+    std::optional<dex::Apk> packed = packer::pack(sample->apk, spec);
+    if (!packed.has_value()) continue;
+
+    unpackers::UnpackOptions unpack;
+    unpack.configure_runtime = with_packer_natives(sample->configure_runtime);
+    unpackers::UnpackResult dump = unpackers::dexhunter_unpack(*packed, unpack);
+
+    BatchJob job;
+    job.name = std::string("dexhunter/") + sample->name;
+    job.scenario = "unpacked";
+    job.apk = std::move(dump.unpacked);
+    // The dump's entry is still the shell class, so replaying it needs the
+    // packer natives alongside the sample's own.
+    job.configure_runtime = with_packer_natives(sample->configure_runtime);
+    job.expect_leak = sample->leaky;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+std::vector<BatchJob> replicate_jobs(const std::vector<BatchJob>& jobs,
+                                     int repeat) {
+  std::vector<BatchJob> replicated;
+  if (repeat < 1) repeat = 1;
+  replicated.reserve(jobs.size() * static_cast<size_t>(repeat));
+  for (int r = 0; r < repeat; ++r) {
+    for (const BatchJob& job : jobs) {
+      BatchJob copy = job;
+      copy.name = job.name + "#r" + std::to_string(r);
+      replicated.push_back(std::move(copy));
+    }
+  }
+  return replicated;
+}
+
+std::vector<BatchJob> all_jobs() {
+  std::vector<BatchJob> jobs = droidbench_jobs();
+  std::vector<BatchJob> more = generated_jobs(8);
+  for (BatchJob& job : more) jobs.push_back(std::move(job));
+  more = packed_jobs();
+  for (BatchJob& job : more) jobs.push_back(std::move(job));
+  more = unpacker_baseline_jobs();
+  for (BatchJob& job : more) jobs.push_back(std::move(job));
+  return jobs;
+}
+
+}  // namespace dexlego::pipeline

@@ -1,0 +1,45 @@
+// Canned input populations for the batch pipeline — one builder per
+// workload the paper evaluates: the DroidBench-analog suite (Section V-B),
+// seed-deterministic generated apps (benchsuite::appgen, the Table I/V-VIII
+// populations), packed inputs (src/packer presets, Table I/III) and
+// snapshot dumps from the unpacker baselines (src/unpackers, Section VI-B).
+// Each builder returns ready-to-run BatchJobs: apk + natives + ground truth.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/pipeline/batch.h"
+
+namespace dexlego::pipeline {
+
+// All 134 DroidBench-analog samples, with per-sample natives and the
+// leaky/benign ground truth attached.
+std::vector<BatchJob> droidbench_jobs();
+
+// `count` generated full-coverage apps (seeds seed0, seed0+1, ...) of about
+// `units` code units each. Deterministic: the same arguments always produce
+// byte-identical apps.
+std::vector<BatchJob> generated_jobs(size_t count, uint64_t seed0 = 101,
+                                     size_t units = 1200);
+
+// A set of replayable DroidBench samples packed with every available
+// Table I packer preset (shell + encrypted payload; the pipeline's
+// collection phase is what unpacks them).
+std::vector<BatchJob> packed_jobs();
+
+// The same packed samples first dumped by the DexHunter-analog unpacker;
+// the pipeline then runs on the dump, demonstrating that snapshot dumps are
+// just another input scenario.
+std::vector<BatchJob> unpacker_baseline_jobs();
+
+// Concatenation of every builder above.
+std::vector<BatchJob> all_jobs();
+
+// `repeat` copies of the job list, names suffixed "#r<k>" so every copy
+// stays distinguishable in reports — the workload-scaling knob shared by
+// dexlego_batch --repeat and the throughput bench.
+std::vector<BatchJob> replicate_jobs(const std::vector<BatchJob>& jobs,
+                                     int repeat);
+
+}  // namespace dexlego::pipeline

@@ -1,11 +1,14 @@
 #include "src/support/log.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace dexlego::support {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+// Atomic: pipeline worker threads read the level while a main thread may
+// still be configuring it.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* level_tag(LogLevel level) {
   switch (level) {

@@ -1,0 +1,71 @@
+// Monotonic timing helpers shared by the batch-pipeline stats
+// (src/pipeline/batch.h) and the bench binaries (via bench/bench_util.h).
+// Wall time is steady_clock so measurements never go backwards under NTP
+// adjustments; CPU time is per-thread (CLOCK_THREAD_CPUTIME_ID) so parallel
+// workers report their own consumption, not the whole process's.
+#pragma once
+
+#include <chrono>
+#include <cmath>
+#include <ctime>
+#include <utility>
+#include <vector>
+
+namespace dexlego::support {
+
+// Wall-clock stopwatch on the monotonic clock.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// CPU time consumed by the calling thread, in milliseconds. Returns 0.0 on
+// platforms without a per-thread CPU clock.
+inline double thread_cpu_ms() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) * 1e3 +
+           static_cast<double>(ts.tv_nsec) / 1e6;
+  }
+#endif
+  return 0.0;
+}
+
+// Runs `fn` once and returns its wall time in milliseconds.
+template <typename Fn>
+double time_call_ms(Fn&& fn) {
+  Stopwatch sw;
+  std::forward<Fn>(fn)();
+  return sw.elapsed_ms();
+}
+
+// Mean / standard deviation of a sample set (population stddev, matching the
+// paper's launch-time tables).
+struct MeanStd {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+inline MeanStd mean_std(const std::vector<double>& samples) {
+  MeanStd out;
+  if (samples.empty()) return out;
+  for (double v : samples) out.mean += v;
+  out.mean /= static_cast<double>(samples.size());
+  for (double v : samples) out.stddev += (v - out.mean) * (v - out.mean);
+  out.stddev = std::sqrt(out.stddev / static_cast<double>(samples.size()));
+  return out;
+}
+
+}  // namespace dexlego::support
