@@ -41,6 +41,34 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS")
 
 # --- pipeline smoke --------------------------------------------------------
-# A tiny batch on 2 workers, byte-compared against the sequential path.
+# A tiny batch on 2 workers, byte-compared against the sequential path, then
+# the same with ForceEngine exploration (plan units sharded across workers).
 "$BUILD_DIR"/examples/dexlego_batch --scenario generated --count 4 \
   --threads 2 --compare-sequential --quiet
+"$BUILD_DIR"/examples/dexlego_batch --scenario guarded --count 2 --force \
+  --jobs 2 --compare-sequential --quiet
+
+# --- ThreadSanitizer pass --------------------------------------------------
+# Rebuilds the concurrency-bearing suites (pipeline_test: work-queue
+# scheduler + DedupStore races; force_engine_test: the frontier logic the
+# scheduler drives) under TSan and runs them. Skipped where TSan can't
+# compile, link or execute (older toolchains, restricted sandboxes).
+TSAN_DIR="${TSAN_DIR:-${BUILD_DIR}-tsan}"
+tsan_probe="$(mktemp -d)"
+cat > "$tsan_probe/probe.cpp" <<'EOF'
+#include <thread>
+int main() { std::thread t([]{}); t.join(); return 0; }
+EOF
+if c++ -fsanitize=thread -o "$tsan_probe/probe" "$tsan_probe/probe.cpp" \
+     2>/dev/null && "$tsan_probe/probe" 2>/dev/null; then
+  cmake -B "$TSAN_DIR" -S . \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" \
+    -DDEXLEGO_BUILD_BENCHES=OFF -DDEXLEGO_BUILD_EXAMPLES=OFF
+  cmake --build "$TSAN_DIR" -j "$JOBS" --target pipeline_test force_engine_test
+  "$TSAN_DIR"/tests/pipeline_test
+  "$TSAN_DIR"/tests/force_engine_test
+else
+  echo "ThreadSanitizer unavailable; skipping TSan pass"
+fi
+rm -rf "$tsan_probe"

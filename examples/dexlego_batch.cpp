@@ -4,13 +4,20 @@
 // plus the fleet summary (verified count, leak ground-truth agreement,
 // dedup hit rate, apps/sec).
 //
-//   dexlego_batch [--scenario droidbench|generated|packed|unpacked|all]
-//                 [--threads N] [--count N] [--repeat R]
+//   dexlego_batch [--scenario droidbench|generated|guarded|packed|unpacked|all]
+//                 [--threads N | --jobs N] [--count N] [--repeat R]
+//                 [--force] [--force-depth D] [--force-iters I]
 //                 [--compare-sequential] [--json] [--quiet]
 //
 //   --threads 0 (default) = one worker per hardware thread
+//   --jobs             alias for --threads (make-style worker count)
 //   --count            generated-scenario app count (default 8)
 //   --repeat           replicate the job list R times (workload scaling)
+//   --force            explore every app with the worklist ForceEngine:
+//                      each app expands into (app, plan) units sharded
+//                      across the worker pool (docs/FORCE_EXECUTION.md)
+//   --force-depth      forced-prefix generations per plan (default 8)
+//   --force-iters      total plan budget per app (default 512)
 //   --compare-sequential  also run on 1 thread and assert byte-identical
 //                         reassembled DEX output (exit 1 on mismatch)
 //   --json             emit the fleet summary as one JSON line
@@ -34,6 +41,7 @@ std::vector<pipeline::BatchJob> build_scenario(const std::string& name,
                                                size_t count) {
   if (name == "droidbench") return pipeline::droidbench_jobs();
   if (name == "generated") return pipeline::generated_jobs(count);
+  if (name == "guarded") return pipeline::guarded_jobs(count);
   if (name == "packed") return pipeline::packed_jobs();
   if (name == "unpacked") return pipeline::unpacker_baseline_jobs();
   if (name == "all") return pipeline::all_jobs();
@@ -49,9 +57,14 @@ void print_fleet(const pipeline::FleetStats& fleet) {
       fleet.observed_leaky, fleet.expected_leaky);
   std::printf(
       "       wall %.1f ms (%.1f apps/sec) | worker cpu %.1f ms | "
-      "mean instruction coverage %.1f%%\n",
+      "mean coverage: instruction %.1f%%, branch %.1f%%\n",
       fleet.wall_ms, fleet.apps_per_sec, fleet.cpu_ms,
-      fleet.mean_instruction_coverage * 100.0);
+      fleet.mean_instruction_coverage * 100.0,
+      fleet.mean_branch_coverage * 100.0);
+  if (fleet.forced_paths > 0) {
+    std::printf("       force execution: %zu forced paths across the fleet\n",
+                fleet.forced_paths);
+  }
   std::printf(
       "       dedup: %.1f%% hit rate (%llu hits / %llu misses) | store %zu "
       "bodies, %llu bytes stored, %llu bytes deduped\n",
@@ -67,10 +80,12 @@ void print_json(const pipeline::FleetStats& fleet, const std::string& scenario) 
       "{\"scenario\":\"%s\",\"threads\":%zu,\"jobs\":%zu,\"ok\":%zu,"
       "\"verified\":%zu,\"wall_ms\":%.2f,\"apps_per_sec\":%.2f,"
       "\"dedup_hit_rate\":%.4f,\"store_entries\":%zu,"
-      "\"mean_instruction_coverage\":%.4f}\n",
+      "\"mean_instruction_coverage\":%.4f,\"mean_branch_coverage\":%.4f,"
+      "\"forced_paths\":%zu}\n",
       scenario.c_str(), fleet.threads, fleet.jobs, fleet.ok, fleet.verified,
       fleet.wall_ms, fleet.apps_per_sec, fleet.dedup_hit_rate,
-      fleet.store.entries, fleet.mean_instruction_coverage);
+      fleet.store.entries, fleet.mean_instruction_coverage,
+      fleet.mean_branch_coverage, fleet.forced_paths);
 }
 
 }  // namespace
@@ -80,6 +95,8 @@ int main(int argc, char** argv) {
   size_t threads = 0;
   size_t count = 8;
   int repeat = 1;
+  bool force = false;
+  coverage::ForceEngineOptions force_options;
   bool compare_sequential = false;
   bool json = false;
   bool quiet = false;
@@ -108,8 +125,14 @@ int main(int argc, char** argv) {
     };
     if (arg == "--scenario") {
       scenario = next();
-    } else if (arg == "--threads") {
+    } else if (arg == "--threads" || arg == "--jobs") {
       threads = static_cast<size_t>(next_number(0, 4096));
+    } else if (arg == "--force") {
+      force = true;
+    } else if (arg == "--force-depth") {
+      force_options.max_depth = static_cast<int>(next_number(1, 1024));
+    } else if (arg == "--force-iters") {
+      force_options.max_plans = static_cast<size_t>(next_number(1, 1000000));
     } else if (arg == "--count") {
       count = static_cast<size_t>(next_number(1, 100000));
     } else if (arg == "--repeat") {
@@ -128,19 +151,22 @@ int main(int argc, char** argv) {
 
   std::vector<pipeline::BatchJob> jobs = build_scenario(scenario, count);
   if (repeat > 1) jobs = pipeline::replicate_jobs(jobs, repeat);
+  if (force) pipeline::enable_force(jobs, force_options);
 
   pipeline::BatchOptions options;
   options.threads = threads;
   pipeline::BatchReport report = pipeline::run_batch(jobs, options);
 
   if (!quiet) {
-    std::printf("%-32s %-11s %-4s %-9s %-6s %-9s %-8s\n", "app", "scenario",
-                "ok", "verified", "leaks", "coverage", "wall ms");
+    std::printf("%-32s %-11s %-4s %-9s %-6s %-9s %-8s %-7s %-6s\n", "app",
+                "scenario", "ok", "verified", "leaks", "coverage", "branch",
+                "forced", "wall ms");
     for (const pipeline::JobResult& job : report.jobs) {
-      std::printf("%-32s %-11s %-4s %-9s %-6zu %8.1f%% %8.1f\n",
+      std::printf("%-32s %-11s %-4s %-9s %-6zu %8.1f%% %7.1f%% %-7zu %6.1f\n",
                   job.name.c_str(), job.scenario.c_str(),
                   job.ok ? "yes" : "NO", job.verified ? "yes" : "NO",
                   job.leaks_observed, job.instruction_coverage * 100.0,
+                  job.branch_coverage * 100.0, job.forced_branches,
                   job.wall_ms);
       if (!job.ok) std::printf("  error: %s\n", job.error.c_str());
     }

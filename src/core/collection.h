@@ -135,4 +135,14 @@ struct CollectionOutput {
   }
 };
 
+// Merges `from` into `into` with the Collector's own dedup semantics:
+// classes union by descriptor (first arrival wins, order preserved), method
+// records accumulate unique trees by fingerprint under the `max_variants`
+// cap, reflection targets keep the first recorded target per call site.
+// Deterministic — merging the same outputs in the same order always yields
+// the same result, which is how the batch pipeline makes per-plan-unit
+// collection sharding byte-identical to a sequential run.
+void merge_collection(CollectionOutput& into, CollectionOutput&& from,
+                      size_t max_variants);
+
 }  // namespace dexlego::core

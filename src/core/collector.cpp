@@ -259,6 +259,50 @@ void Collector::on_reflective_invoke(rt::RtMethod& caller, uint32_t dex_pc,
   }
 }
 
+void merge_collection(CollectionOutput& into, CollectionOutput&& from,
+                      size_t max_variants) {
+  std::set<std::string> have_classes;
+  for (const CollectedClass& c : into.classes) have_classes.insert(c.descriptor);
+  for (CollectedClass& c : from.classes) {
+    if (have_classes.insert(c.descriptor).second) {
+      into.classes.push_back(std::move(c));
+    }
+  }
+
+  for (auto& [key, rec] : from.methods) {
+    auto it = into.methods.find(key);
+    if (it == into.methods.end()) {
+      into.methods.emplace(key, std::move(rec));
+      continue;
+    }
+    MethodRecord& mine = it->second;
+    mine.executions += rec.executions;
+    mine.dropped_trees += rec.dropped_trees;
+    std::set<uint64_t> seen;
+    for (const auto& tree : mine.trees) seen.insert(tree->fingerprint());
+    for (auto& tree : rec.trees) {
+      if (!seen.insert(tree->fingerprint()).second) continue;
+      if (mine.trees.size() >= max_variants) {
+        ++mine.dropped_trees;
+        continue;
+      }
+      mine.trees.push_back(std::move(tree));
+    }
+    for (auto& [pc, ref] : rec.reflection_targets) {
+      mine.reflection_targets.emplace(pc, std::move(ref));  // first one wins
+    }
+  }
+
+  into.total_instructions_observed += from.total_instructions_observed;
+  into.divergences_detected += from.divergences_detected;
+  // The site counter mirrors the per-method maps exactly (the collector
+  // increments it only on insert), so recompute rather than guess overlap.
+  into.reflection_sites = 0;
+  for (const auto& [key, rec] : into.methods) {
+    into.reflection_sites += rec.reflection_targets.size();
+  }
+}
+
 CollectionOutput Collector::take_output() {
   while (!stack_.empty()) {
     finish_activation(stack_.back());

@@ -32,6 +32,13 @@ class Collector : public rt::RuntimeHooks {
   explicit Collector(const Options& options) : options_(options) {}
 
   // --- RuntimeHooks ---
+  uint32_t subscribed_events() const override {
+    return rt::hook_mask(rt::HookEvent::kClassInitialized) |
+           rt::hook_mask(rt::HookEvent::kMethodEntry) |
+           rt::hook_mask(rt::HookEvent::kMethodExit) |
+           rt::hook_mask(rt::HookEvent::kInstruction) |
+           rt::hook_mask(rt::HookEvent::kReflectiveInvoke);
+  }
   void on_class_initialized(rt::RtClass& cls) override;
   void on_method_entry(rt::RtMethod& method) override;
   void on_method_exit(rt::RtMethod& method) override;

@@ -18,25 +18,27 @@ void default_driver(rt::Runtime& rt, int run_index) {
   rt.call_activity_method("onDestroy");
 }
 
-RevealResult DexLego::reveal(const dex::Apk& apk) {
-  Collector collector(options_.collector);
-  for (int run = 0; run < options_.runs; ++run) {
-    rt::Runtime runtime(options_.runtime);
-    if (options_.configure_runtime) options_.configure_runtime(runtime);
+CollectionOutput DexLego::collect(const dex::Apk& apk,
+                                  const DexLegoOptions& options) {
+  Collector collector(options.collector);
+  for (int run = 0; run < options.runs; ++run) {
+    rt::Runtime runtime(options.runtime);
+    if (options.configure_runtime) options.configure_runtime(runtime);
     runtime.add_hooks(&collector);
     runtime.install(apk);
-    if (options_.driver) {
-      options_.driver(runtime, run);
+    if (options.driver) {
+      options.driver(runtime, run);
     } else {
       default_driver(runtime, run);
     }
     runtime.remove_hooks(&collector);
   }
+  return collector.take_output();
+}
 
-  CollectionOutput output = collector.take_output();
-  CollectionFiles files = encode_collection(output);
-  RevealResult result = reassemble_files(files, apk, options_.reassemble);
-  return result;
+RevealResult DexLego::reveal(const dex::Apk& apk) {
+  CollectionFiles files = encode_collection(collect(apk, options_));
+  return reassemble_files(files, apk, options_.reassemble);
 }
 
 RevealResult DexLego::reassemble_files(const CollectionFiles& files,

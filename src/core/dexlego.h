@@ -47,6 +47,13 @@ class DexLego {
   // the collection files, mirroring the paper's split).
   RevealResult reveal(const dex::Apk& apk);
 
+  // Online half only: `options.runs` driver executions against fresh
+  // runtimes with a collector attached, returning the raw collection.
+  // reveal() is collect + encode + reassemble_files; the batch pipeline
+  // calls this directly for its per-plan-unit collection runs.
+  static CollectionOutput collect(const dex::Apk& apk,
+                                  const DexLegoOptions& options);
+
   // Offline half only: collection files -> revealed APK (manifest and assets
   // copied from `original`).
   static RevealResult reassemble_files(const CollectionFiles& files,

@@ -4,8 +4,10 @@
 #include <set>
 
 #include "src/bytecode/insn.h"
+#include "src/coverage/force_engine.h"
 #include "src/dex/io.h"
 #include "src/support/bytes.h"
+#include "src/support/hash.h"
 
 namespace dexlego::coverage {
 
@@ -17,6 +19,8 @@ const bool* ForcePlan::find(const std::string& method_key, uint32_t pc) const {
   auto it = outcomes_.find({method_key, pc});
   return it == outcomes_.end() ? nullptr : &it->second;
 }
+
+uint64_t ForcePlan::fingerprint() const { return support::fnv1a(serialize()); }
 
 std::vector<uint8_t> ForcePlan::serialize() const {
   support::ByteWriter w;
@@ -33,12 +37,30 @@ ForcePlan ForcePlan::deserialize(std::span<const uint8_t> data) {
   support::ByteReader r(data);
   ForcePlan plan;
   uint32_t n = r.u32();
+  // Every entry needs >= 9 bytes (string length + pc + outcome); a count the
+  // payload can't possibly hold is rejected up front instead of looping into
+  // a guaranteed truncation (or an attacker-sized allocation).
+  if (n > r.remaining() / 9) {
+    throw support::ParseError("force plan count exceeds payload");
+  }
   for (uint32_t i = 0; i < n; ++i) {
     std::string key = r.str();
     uint32_t pc = r.u32();
-    plan.outcomes_[{key, pc}] = r.u8() != 0;
+    plan.outcomes_[{std::move(key), pc}] = r.u8() != 0;
+  }
+  if (!r.at_end()) {
+    throw support::ParseError("trailing bytes after force plan");
   }
   return plan;
+}
+
+std::optional<ForcePlan> ForcePlan::try_deserialize(
+    std::span<const uint8_t> data) {
+  try {
+    return deserialize(data);
+  } catch (const support::ParseError&) {
+    return std::nullopt;
+  }
 }
 
 bool ForceHooks::force_branch(rt::RtMethod& method, uint32_t dex_pc,
@@ -113,8 +135,61 @@ bool compute_path(const dex::CodeItem& code, const std::string& method_key,
   return true;
 }
 
+namespace {
+
+// One forced run: fresh runtime, the plan's ForceHooks attached, coverage
+// recorded into `tracker`. Replays options.seed_sequence unless a driver is
+// supplied.
+void run_plan(const dex::Apk& apk, const ForcePlan& plan,
+              const ForceOptions& options, CoverageTracker& tracker) {
+  ForceHooks hooks(plan);
+  if (options.driver) {
+    rt::RuntimeConfig cfg;
+    cfg.step_limit = options.run.steps_per_run;
+    rt::Runtime runtime(cfg);
+    if (options.run.configure_runtime) options.run.configure_runtime(runtime);
+    runtime.add_hooks(&tracker);
+    for (rt::RuntimeHooks* extra : options.run.extra_hooks) {
+      runtime.add_hooks(extra);
+    }
+    runtime.add_hooks(&hooks);
+    runtime.install(apk);
+    options.driver(runtime);
+    return;
+  }
+  FuzzOptions run = options.run;
+  run.extra_hooks.push_back(&hooks);
+  execute_sequence(apk, options.seed_sequence, run, tracker);
+}
+
+}  // namespace
+
 ForceResult force_execute(const dex::Apk& apk, const ForceOptions& options,
                           const CoverageTracker& seed) {
+  dex::DexFile app = dex::read_dex(apk.classes());
+  ForceEngine engine(app, options.engine);
+  engine.observe(PlanUnit{}, seed);  // baseline: the seed's natural coverage
+
+  ForceResult result;
+  for (;;) {
+    std::vector<PlanUnit> wave = engine.next_wave();
+    if (wave.empty()) break;
+    ++result.iterations;
+    for (const PlanUnit& unit : wave) {
+      CoverageTracker tracker;
+      run_plan(apk, unit.plan, options, tracker);
+      engine.observe(unit, tracker);
+      ++result.paths_executed;
+    }
+  }
+  result.coverage.merge(engine.coverage());
+  result.ucbs_targeted = engine.stats().ucbs_targeted;
+  return result;
+}
+
+ForceResult single_plan_force_execute(const dex::Apk& apk,
+                                      const ForceOptions& options,
+                                      const CoverageTracker& seed) {
   dex::DexFile app = dex::read_dex(apk.classes());
   // Static index: method key -> code item.
   std::map<std::string, const dex::CodeItem*> code_of;
@@ -132,7 +207,7 @@ ForceResult force_execute(const dex::Apk& apk, const ForceOptions& options,
   result.coverage.merge(seed);
   std::set<std::tuple<std::string, uint32_t, bool>> attempted;
 
-  for (int iter = 0; iter < options.max_iterations; ++iter) {
+  for (int iter = 0; iter < options.engine.max_waves; ++iter) {
     // Branch analysis: find new UCBs in the accumulated coverage.
     ForcePlan plan;
     size_t targeted = 0;
@@ -156,11 +231,11 @@ ForceResult force_execute(const dex::Apk& apk, const ForceOptions& options,
     result.ucbs_targeted += targeted;
     ++result.iterations;
 
-    // Next execution follows the path files.
-    ForceHooks hooks(plan);
-    FuzzOptions run = options.run;
-    run.extra_hooks.push_back(&hooks);
-    execute_sequence(apk, options.seed_sequence, run, result.coverage);
+    // Next execution follows the one combined path file.
+    CoverageTracker tracker;
+    run_plan(apk, plan, options, tracker);
+    result.coverage.merge(tracker);
+    ++result.paths_executed;
   }
   return result;
 }

@@ -15,6 +15,10 @@ namespace dexlego::coverage {
 
 class CoverageTracker : public rt::RuntimeHooks {
  public:
+  uint32_t subscribed_events() const override {
+    return rt::hook_mask(rt::HookEvent::kInstruction) |
+           rt::hook_mask(rt::HookEvent::kBranch);
+  }
   void on_instruction(rt::RtMethod& method, uint32_t dex_pc,
                       std::span<const uint16_t> code) override;
   void on_branch(rt::RtMethod& method, uint32_t dex_pc, bool taken) override;
@@ -51,6 +55,12 @@ class CoverageTracker : public rt::RuntimeHooks {
     bool untaken = false;
   };
   const std::map<uint32_t, BranchSeen>* branches(const std::string& key) const;
+  // Every branch site observed, keyed by method: lets the force engine
+  // enumerate sites without knowing method keys up front.
+  const std::map<std::string, std::map<uint32_t, BranchSeen>>& branch_sites()
+      const {
+    return branches_;
+  }
 
   static std::string method_key(const rt::RtMethod& method);
   static std::string method_key(const dex::DexFile& file, uint32_t method_ref);

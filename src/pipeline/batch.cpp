@@ -1,8 +1,12 @@
 #include "src/pipeline/batch.h"
 
-#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
 #include <thread>
 
+#include "src/core/files.h"
+#include "src/coverage/force_engine.h"
 #include "src/coverage/tracker.h"
 #include "src/dex/io.h"
 #include "src/support/hash.h"
@@ -11,6 +15,8 @@
 namespace dexlego::pipeline {
 
 namespace {
+
+// --- the classic single-unit path (natural execution, whole reveal) -------
 
 JobResult run_one(const BatchJob& job, DedupStore& store, bool keep_dex) {
   JobResult result;
@@ -61,7 +67,9 @@ JobResult run_one(const BatchJob& job, DedupStore& store, bool keep_dex) {
     // classes.ldex is the shell stub, so a parse failure just leaves 0.
     try {
       dex::DexFile original = dex::read_dex(job.apk.classes());
-      result.instruction_coverage = tracker.report(original).instruction_pct();
+      coverage::CoverageTracker::Report report = tracker.report(original);
+      result.instruction_coverage = report.instruction_pct();
+      result.branch_coverage = report.branch_pct();
     } catch (const std::exception&) {
     }
 
@@ -76,6 +84,190 @@ JobResult run_one(const BatchJob& job, DedupStore& store, bool keep_dex) {
   return result;
 }
 
+// --- the (app, plan) unit path (force-execution jobs) ---------------------
+
+// Everything one executed plan unit hands back to its app's coordinator.
+struct UnitOutput {
+  core::CollectionOutput collection;
+  coverage::CoverageTracker coverage;
+  size_t leaks = 0;
+  size_t forced = 0;
+  double cpu_ms = 0.0;
+  bool ok = false;
+  std::string error;
+};
+
+// Executes one (app, plan) unit through the same DexLego collect phase the
+// classic path uses, with a per-unit coverage tracker and — for non-empty
+// plans — the plan's ForceHooks riding along. The baseline unit honors the
+// job's run count; forced units replay the driver once.
+UnitOutput run_unit(const BatchJob& job, const coverage::PlanUnit& unit) {
+  UnitOutput out;
+  double cpu_start = support::thread_cpu_ms();
+  try {
+    coverage::ForceHooks force_hooks(unit.plan);
+
+    core::DexLegoOptions options = job.reveal;
+    options.runs = unit.plan.empty() ? std::max(1, options.runs) : 1;
+    auto base_configure = options.configure_runtime;
+    options.configure_runtime = [&, base_configure](rt::Runtime& runtime) {
+      if (base_configure) base_configure(runtime);
+      if (job.configure_runtime) job.configure_runtime(runtime);
+      runtime.add_hooks(&out.coverage);
+      if (!unit.plan.empty()) runtime.add_hooks(&force_hooks);
+    };
+    auto base_driver = options.driver;
+    options.driver = [&](rt::Runtime& runtime, int run_index) {
+      if (base_driver) {
+        base_driver(runtime, run_index);
+      } else {
+        core::default_driver(runtime, run_index);
+      }
+      out.leaks += runtime.leaks().size();
+    };
+
+    out.collection = core::DexLego::collect(job.apk, options);
+    out.forced = force_hooks.forced();
+    out.ok = true;
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  } catch (...) {
+    out.error = "unknown exception";
+  }
+  out.cpu_ms = support::thread_cpu_ms() - cpu_start;
+  return out;
+}
+
+// Per-app coordination state. Workers only touch an app's state while the
+// scheduler lock is held or while they own its wave (outstanding hit zero).
+struct AppState {
+  const BatchJob* job = nullptr;
+  JobResult result;
+  bool classic = true;  // no force: single unit through run_one
+
+  std::unique_ptr<coverage::ForceEngine> engine;
+  std::vector<coverage::PlanUnit> wave_units;
+  std::vector<UnitOutput> wave_outputs;
+  size_t outstanding = 0;  // units of the current wave still executing
+
+  core::CollectionOutput merged;  // plan-order merge of unit collections
+  size_t leaks = 0;
+  size_t forced_branches = 0;
+  size_t force_paths = 0;
+  int waves_folded = 0;  // waves merged so far (0 = baseline pending)
+  double start_ms = -1.0;
+  double cpu_ms = 0.0;
+  bool failed = false;
+};
+
+// Reassembles and verifies a finished force app from its merged collection.
+void finalize_force_app(AppState& app, DedupStore& store, bool keep_dex) {
+  JobResult& result = app.result;
+  try {
+    core::CollectionFiles files = core::encode_collection(app.merged);
+    core::RevealResult reveal = core::DexLego::reassemble_files(
+        files, app.job->apk, app.job->reveal.reassemble);
+
+    InternedCollection interned = intern_collection(reveal.collection, store);
+    result.dedup_hits = interned.hits;
+    result.dedup_misses = interned.misses;
+
+    result.verified = reveal.verified;
+    result.leaks_observed = app.leaks;
+    result.reassemble = reveal.stats;
+    result.collection_bytes = reveal.files.total_size();
+
+    const std::vector<uint8_t>& dex_bytes = reveal.revealed_apk.classes();
+    result.dex_fingerprint = support::fnv1a(dex_bytes);
+    if (keep_dex) result.dex = dex_bytes;
+
+    try {
+      dex::DexFile original = dex::read_dex(app.job->apk.classes());
+      coverage::CoverageTracker::Report report =
+          app.engine->coverage().report(original);
+      result.instruction_coverage = report.instruction_pct();
+      result.branch_coverage = report.branch_pct();
+    } catch (const std::exception&) {
+    }
+
+    result.forced_branches = app.forced_branches;
+    result.force_paths = app.force_paths;
+    result.force_waves = app.engine->stats().waves;
+    result.ok = true;
+  } catch (const std::exception& e) {
+    result.error = e.what();
+  } catch (...) {
+    result.error = "unknown exception";
+  }
+}
+
+// Wave end: folds the finished wave in plan order, asks the engine for the
+// next frontier, and either fills wave_units for re-dispatch or finalizes.
+// Called with exclusive ownership of the app (outstanding == 0).
+void advance_force_app(AppState& app, DedupStore& store, bool keep_dex) {
+  double cpu_start = support::thread_cpu_ms();
+  bool baseline_wave = app.waves_folded == 0;
+  if (baseline_wave && app.engine == nullptr) {
+    try {
+      app.engine = std::make_unique<coverage::ForceEngine>(
+          dex::read_dex(app.job->apk.classes()), app.job->force_options);
+    } catch (const std::exception& e) {
+      app.failed = true;
+      app.result.error = std::string("force engine: ") + e.what();
+    }
+  }
+
+  try {
+    for (size_t s = 0; !app.failed && s < app.wave_units.size(); ++s) {
+      UnitOutput& out = app.wave_outputs[s];
+      app.cpu_ms += out.cpu_ms;
+      if (!out.ok) {
+        if (baseline_wave) {
+          // No baseline collection: the job fails like a classic job would.
+          app.failed = true;
+          app.result.error = out.error;
+          break;
+        }
+        // A failed forced path loses only that path. Observing whatever
+        // coverage it recorded before dying keeps the observation sequence —
+        // and thus the frontier — identical on every schedule, since the
+        // failure itself is deterministic for a given plan.
+        app.engine->observe(app.wave_units[s], out.coverage);
+        continue;
+      }
+      app.leaks += out.leaks;
+      app.forced_branches += out.forced;
+      core::merge_collection(app.merged, std::move(out.collection),
+                             app.job->reveal.collector.max_variants);
+      app.engine->observe(app.wave_units[s], out.coverage);
+    }
+    if (!baseline_wave) app.force_paths += app.wave_units.size();
+    ++app.waves_folded;
+
+    app.wave_units.clear();
+    app.wave_outputs.clear();
+    if (!app.failed) {
+      app.wave_units = app.engine->next_wave();
+    }
+  } catch (const std::exception& e) {
+    app.failed = true;
+    app.result.error = e.what();
+    app.wave_units.clear();
+    app.wave_outputs.clear();
+  }
+  if (!app.wave_units.empty()) {
+    app.wave_outputs = std::vector<UnitOutput>(app.wave_units.size());
+    app.outstanding = app.wave_units.size();
+    app.cpu_ms += support::thread_cpu_ms() - cpu_start;
+    return;
+  }
+
+  // Converged (or failed): finish the job.
+  if (!app.failed) finalize_force_app(app, store, keep_dex);
+  app.cpu_ms += support::thread_cpu_ms() - cpu_start;
+  app.result.cpu_ms = app.cpu_ms;
+}
+
 }  // namespace
 
 BatchReport run_batch(const std::vector<BatchJob>& jobs,
@@ -84,7 +276,13 @@ BatchReport run_batch(const std::vector<BatchJob>& jobs,
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
-  if (threads > jobs.size() && !jobs.empty()) threads = jobs.size();
+  // Plain jobs can use at most one worker each; force jobs fan out into plan
+  // units, so extra workers stay useful even for a single app.
+  bool any_force = false;
+  for (const BatchJob& job : jobs) any_force |= job.force;
+  if (!any_force && threads > jobs.size() && !jobs.empty()) {
+    threads = jobs.size();
+  }
 
   DedupStore local_store;
   DedupStore& store = options.store != nullptr ? *options.store : local_store;
@@ -93,25 +291,90 @@ BatchReport run_batch(const std::vector<BatchJob>& jobs,
   report.jobs.resize(jobs.size());
   support::Stopwatch wall;
 
-  if (threads <= 1) {
-    for (size_t i = 0; i < jobs.size(); ++i) {
-      report.jobs[i] = run_one(jobs[i], store, options.keep_dex);
+  // Scheduler state: a dynamic queue of (app, wave-slot) tasks. Plain jobs
+  // contribute one task; force jobs re-enqueue a task per plan unit at every
+  // wave end, so one app's exploration spreads across all workers.
+  struct Task {
+    size_t app = 0;
+    size_t slot = 0;
+  };
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Task> queue;
+  std::vector<AppState> states(jobs.size());
+  size_t apps_remaining = jobs.size();
+
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    AppState& app = states[i];
+    app.job = &jobs[i];
+    app.classic = !jobs[i].force;
+    app.result.name = jobs[i].name;
+    app.result.scenario = jobs[i].scenario;
+    app.result.expect_leak = jobs[i].expect_leak;
+    if (!app.classic) {
+      app.wave_units.push_back(coverage::PlanUnit{});  // baseline run
+      app.wave_outputs = std::vector<UnitOutput>(1);
+      app.outstanding = 1;
     }
+    queue.push_back(Task{i, 0});
+  }
+
+  auto worker = [&]() {
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+      cv.wait(lock, [&]() { return !queue.empty() || apps_remaining == 0; });
+      if (queue.empty()) return;  // apps_remaining == 0
+      Task task = queue.front();
+      queue.pop_front();
+      AppState& app = states[task.app];
+      if (app.start_ms < 0.0) app.start_ms = wall.elapsed_ms();
+
+      if (app.classic) {
+        lock.unlock();
+        JobResult result = run_one(*app.job, store, options.keep_dex);
+        lock.lock();
+        app.result = std::move(result);
+        --apps_remaining;
+        cv.notify_all();
+        continue;
+      }
+
+      coverage::PlanUnit& unit = app.wave_units[task.slot];
+      lock.unlock();
+      UnitOutput out = run_unit(*app.job, unit);
+      lock.lock();
+      app.wave_outputs[task.slot] = std::move(out);
+      if (--app.outstanding > 0) continue;  // wave still in flight elsewhere
+
+      // Last unit of the wave: this worker owns the app until it either
+      // enqueues the next wave or finishes the job.
+      lock.unlock();
+      advance_force_app(app, store, options.keep_dex);
+      lock.lock();
+      if (!app.wave_units.empty()) {
+        for (size_t s = 0; s < app.wave_units.size(); ++s) {
+          queue.push_back(Task{task.app, s});
+        }
+      } else {
+        app.result.ok = app.result.ok && !app.failed;
+        app.result.wall_ms = wall.elapsed_ms() - app.start_ms;
+        --apps_remaining;
+      }
+      cv.notify_all();
+    }
+  };
+
+  if (threads <= 1) {
+    worker();
   } else {
-    // Work queue: a shared cursor; each worker claims the next unclaimed job
-    // so long jobs don't serialize behind a static partition.
-    std::atomic<size_t> next{0};
     std::vector<std::thread> pool;
     pool.reserve(threads);
-    for (size_t t = 0; t < threads; ++t) {
-      pool.emplace_back([&]() {
-        for (size_t i = next.fetch_add(1); i < jobs.size();
-             i = next.fetch_add(1)) {
-          report.jobs[i] = run_one(jobs[i], store, options.keep_dex);
-        }
-      });
-    }
-    for (std::thread& worker : pool) worker.join();
+    for (size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& thread : pool) thread.join();
+  }
+
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    report.jobs[i] = std::move(states[i].result);
   }
 
   FleetStats& fleet = report.fleet;
@@ -124,12 +387,15 @@ BatchReport run_batch(const std::vector<BatchJob>& jobs,
     if (job.expect_leak) ++fleet.expected_leaky;
     if (job.leaks_observed > 0) ++fleet.observed_leaky;
     fleet.mean_instruction_coverage += job.instruction_coverage;
+    fleet.mean_branch_coverage += job.branch_coverage;
+    fleet.forced_paths += job.force_paths;
     fleet.dedup_hits += job.dedup_hits;
     fleet.dedup_misses += job.dedup_misses;
     fleet.cpu_ms += job.cpu_ms;
   }
   if (fleet.jobs > 0) {
     fleet.mean_instruction_coverage /= static_cast<double>(fleet.jobs);
+    fleet.mean_branch_coverage /= static_cast<double>(fleet.jobs);
   }
   uint64_t interns = fleet.dedup_hits + fleet.dedup_misses;
   fleet.dedup_hit_rate =

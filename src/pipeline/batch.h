@@ -1,18 +1,25 @@
-// Batch extraction pipeline — shards N input apps across a worker thread
-// pool and runs the full DexLego loop (paper Fig. 1) per app:
+// Batch extraction pipeline — shards work across a worker thread pool and
+// runs the full DexLego loop (paper Fig. 1) per app:
 //
 //   collect (instrumented execution, Section IV-A)
 //   -> dedup  (intern collected trees into a shared DedupStore)
 //   -> reassemble (offline, Section IV-B)
 //   -> verify (structural + instruction-level DEX verification)
 //
-// Jobs are independent: each worker builds its own Runtime/Collector, so the
-// per-app output is byte-identical whether the batch runs on 1 thread or 16
-// (asserted by tests/pipeline_test.cpp). The only shared state is the
-// content-addressed DedupStore and the job queue cursor. Per-app and
-// fleet-wide stats (coverage, leak counts, dedup hit rate, wall/CPU time)
-// ride along in the report; bench/pipeline_throughput.cpp turns them into
-// throughput trajectories.
+// The unit of work is an *(app, plan)* pair. A plain job is one unit (its
+// trivial plan: natural execution). A job with force execution enabled
+// expands into waves of units — a baseline collection run, then one unit
+// per ForceEngine plan — so a single app's path exploration shards across
+// the same workers that shard apps. Units are independent: each builds its
+// own Runtime/Collector, per-unit collections merge in plan order
+// (core::merge_collection), and the frontier is derived from order-
+// independent coverage unions, so the per-app output is byte-identical
+// whether the batch runs on 1 thread or 16 (asserted by
+// tests/pipeline_test.cpp). The only shared state is the content-addressed
+// DedupStore and the work queue. Per-app and fleet-wide stats (coverage,
+// leak counts, forced paths, dedup hit rate, wall/CPU time) ride along in
+// the report; bench/pipeline_throughput.cpp and bench/force_paths.cpp turn
+// them into throughput trajectories.
 #pragma once
 
 #include <cstdint>
@@ -21,12 +28,13 @@
 #include <vector>
 
 #include "src/core/dexlego.h"
+#include "src/coverage/force.h"
 #include "src/dex/archive.h"
 #include "src/pipeline/dedup_store.h"
 
 namespace dexlego::pipeline {
 
-// One unit of work: an app plus everything needed to execute it.
+// One input app plus everything needed to execute it.
 struct BatchJob {
   std::string name;
   std::string scenario = "custom";  // "droidbench", "generated", "packed", ...
@@ -36,6 +44,11 @@ struct BatchJob {
   // Per-job reveal options (driver, runs, collector/reassemble tuning).
   core::DexLegoOptions reveal;
   bool expect_leak = false;  // ground truth when the scenario knows it
+  // Force-execution exploration (docs/FORCE_EXECUTION.md): when true the job
+  // expands into (app, plan) units explored wave by wave under these
+  // budgets, instead of the single natural-execution unit.
+  bool force = false;
+  coverage::ForceEngineOptions force_options;
 };
 
 // Everything measured about one job. `dex` is the reassembled classes.ldex
@@ -51,6 +64,10 @@ struct JobResult {
   bool verified = false;              // reassembled DEX passed the verifier
   size_t leaks_observed = 0;          // leaks seen during collection runs
   double instruction_coverage = 0.0;  // of the original DEX, collection runs
+  double branch_coverage = 0.0;       // branch sides of the original DEX
+  size_t forced_branches = 0;         // branch outcomes overridden (force jobs)
+  size_t force_paths = 0;             // forced plan units executed
+  int force_waves = 0;                // frontier rounds the engine issued
   core::ReassembleStats reassemble;
   size_t collection_bytes = 0;  // five-file total (Table VI metric)
   uint64_t dedup_hits = 0;
@@ -73,6 +90,8 @@ struct FleetStats {
   size_t expected_leaky = 0;
   size_t observed_leaky = 0;  // jobs with leaks_observed > 0
   double mean_instruction_coverage = 0.0;
+  double mean_branch_coverage = 0.0;
+  size_t forced_paths = 0;  // forced plan units across the fleet
 
   DedupStore::Stats store;  // snapshot after the batch
   uint64_t dedup_hits = 0;  // this batch's interns only

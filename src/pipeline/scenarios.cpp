@@ -64,6 +64,27 @@ std::vector<BatchJob> generated_jobs(size_t count, uint64_t seed0,
   return jobs;
 }
 
+std::vector<BatchJob> guarded_jobs(size_t count, uint64_t seed0, size_t units) {
+  std::vector<BatchJob> jobs;
+  jobs.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    suite::AppSpec spec;
+    spec.seed = seed0 + i;
+    spec.name = "guarded-s" + std::to_string(spec.seed);
+    spec.package = "guarded.s" + std::to_string(spec.seed);
+    spec.target_units = units;
+    spec.guarded_fraction = 0.5;
+    spec.dead_fraction = 0.1;
+
+    BatchJob job;
+    job.name = spec.name;
+    job.scenario = "guarded";
+    job.apk = suite::generate_app(spec).apk;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
 std::vector<BatchJob> packed_jobs() {
   suite::DroidBench bench = suite::build_droidbench();
   std::vector<BatchJob> jobs;
@@ -129,9 +150,20 @@ std::vector<BatchJob> replicate_jobs(const std::vector<BatchJob>& jobs,
   return replicated;
 }
 
+std::vector<BatchJob>& enable_force(std::vector<BatchJob>& jobs,
+                                    const coverage::ForceEngineOptions& options) {
+  for (BatchJob& job : jobs) {
+    job.force = true;
+    job.force_options = options;
+  }
+  return jobs;
+}
+
 std::vector<BatchJob> all_jobs() {
   std::vector<BatchJob> jobs = droidbench_jobs();
   std::vector<BatchJob> more = generated_jobs(8);
+  for (BatchJob& job : more) jobs.push_back(std::move(job));
+  more = guarded_jobs(4);
   for (BatchJob& job : more) jobs.push_back(std::move(job));
   more = packed_jobs();
   for (BatchJob& job : more) jobs.push_back(std::move(job));

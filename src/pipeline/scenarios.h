@@ -1,9 +1,11 @@
 // Canned input populations for the batch pipeline — one builder per
 // workload the paper evaluates: the DroidBench-analog suite (Section V-B),
 // seed-deterministic generated apps (benchsuite::appgen, the Table I/V-VIII
-// populations), packed inputs (src/packer presets, Table I/III) and
-// snapshot dumps from the unpacker baselines (src/unpackers, Section VI-B).
-// Each builder returns ready-to-run BatchJobs: apk + natives + ground truth.
+// populations), the guarded force-execution population (Table VII), packed
+// inputs (src/packer presets, Table I/III) and snapshot dumps from the
+// unpacker baselines (src/unpackers, Section VI-B). Each builder returns
+// ready-to-run BatchJobs: apk + natives + ground truth; enable_force()
+// switches a list to (app, plan)-sharded ForceEngine exploration.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +25,13 @@ std::vector<BatchJob> droidbench_jobs();
 std::vector<BatchJob> generated_jobs(size_t count, uint64_t seed0 = 101,
                                      size_t units = 1200);
 
+// `count` generated apps with half their code behind semantic input guards
+// and a slice in never-called methods (the Table VII force-execution
+// population): the workload where ForceEngine exploration pays. Pair with
+// enable_force() or dexlego_batch --scenario guarded --force.
+std::vector<BatchJob> guarded_jobs(size_t count, uint64_t seed0 = 301,
+                                   size_t units = 4000);
+
 // A set of replayable DroidBench samples packed with every available
 // Table I packer preset (shell + encrypted payload; the pipeline's
 // collection phase is what unpacks them).
@@ -41,5 +50,11 @@ std::vector<BatchJob> all_jobs();
 // dexlego_batch --repeat and the throughput bench.
 std::vector<BatchJob> replicate_jobs(const std::vector<BatchJob>& jobs,
                                      int repeat);
+
+// Turns every job into an (app, plan)-sharded force-execution job with the
+// given exploration budgets (dexlego_batch --force; docs/FORCE_EXECUTION.md).
+// Returns `jobs` for chaining.
+std::vector<BatchJob>& enable_force(std::vector<BatchJob>& jobs,
+                                    const coverage::ForceEngineOptions& options);
 
 }  // namespace dexlego::pipeline

@@ -288,9 +288,8 @@ void install_reflection(Runtime& rt) {
         // ART resolves the reflective target here — exactly the point where
         // DexLego records it for direct-call replacement (paper IV-D).
         if (ctx.caller != nullptr) {
-          for (RuntimeHooks* h : ctx.runtime.hooks()) {
-            h->on_reflective_invoke(*ctx.caller, ctx.caller_pc, *target);
-          }
+          ctx.runtime.hook_chain().dispatch_reflective_invoke(
+              *ctx.caller, ctx.caller_pc, *target);
         }
         std::vector<Value> call_args;
         if (!target->is_static()) {

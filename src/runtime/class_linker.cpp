@@ -14,7 +14,7 @@ const DexImage& ClassLinker::register_dex(dex::DexFile file, std::string source)
   image->file = std::move(file);
   images_.push_back(std::move(image));
   const DexImage& ref = *images_.back();
-  for (RuntimeHooks* h : runtime_.hooks()) h->on_dex_loaded(ref);
+  runtime_.hook_chain().dispatch_dex_loaded(ref);
   return ref;
 }
 
@@ -86,7 +86,7 @@ RtClass* ClassLinker::load_class(std::string_view descriptor) {
 
   link_class(*ptr, *def, *image);
   load_order_.push_back(ptr);
-  for (RuntimeHooks* h : runtime_.hooks()) h->on_class_loaded(*ptr);
+  runtime_.hook_chain().dispatch_class_loaded(*ptr);
   return ptr;
 }
 
@@ -188,7 +188,7 @@ void ClassLinker::ensure_initialized(RtClass& cls) {
     runtime_.run_clinit(*clinit);
   }
   cls.state = RtClass::State::kInitialized;
-  for (RuntimeHooks* h : runtime_.hooks()) h->on_class_initialized(cls);
+  runtime_.hook_chain().dispatch_class_initialized(cls);
 }
 
 const std::string& ClassLinker::type_descriptor(const DexImage& image,

@@ -1,0 +1,24 @@
+#include "src/runtime/hook_chain.h"
+
+#include <algorithm>
+
+namespace dexlego::rt {
+
+void HookChain::add(RuntimeHooks* hooks, uint32_t event_mask) {
+  if (hooks == nullptr) return;
+  remove(hooks);
+  members_.push_back(hooks);
+  for (size_t i = 0; i < kHookEventCount; ++i) {
+    if ((event_mask & (1u << i)) != 0) lists_[i].push_back(hooks);
+  }
+}
+
+void HookChain::remove(RuntimeHooks* hooks) {
+  members_.erase(std::remove(members_.begin(), members_.end(), hooks),
+                 members_.end());
+  for (auto& list : lists_) {
+    list.erase(std::remove(list.begin(), list.end(), hooks), list.end());
+  }
+}
+
+}  // namespace dexlego::rt

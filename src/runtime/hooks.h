@@ -16,9 +16,47 @@
 
 namespace dexlego::rt {
 
+// One bit per observation/interposition point. A hook declares the events it
+// subscribes to via RuntimeHooks::subscribed_events(); the HookChain
+// (src/runtime/hook_chain.h) keeps one flat callback list per event so the
+// interpreter never fans out to hooks that don't care about an event.
+enum class HookEvent : uint32_t {
+  kDexLoaded = 1u << 0,
+  kClassLoaded = 1u << 1,
+  kClassInitialized = 1u << 2,
+  kMethodEntry = 1u << 3,
+  kMethodExit = 1u << 4,
+  kInstruction = 1u << 5,
+  kBranch = 1u << 6,
+  kForceBranch = 1u << 7,
+  kTolerateException = 1u << 8,
+  kReflectiveInvoke = 1u << 9,
+};
+
+inline constexpr uint32_t kHookEventCount = 10;
+inline constexpr uint32_t kAllHookEvents = (1u << kHookEventCount) - 1;
+
+inline constexpr uint32_t hook_mask(HookEvent e) {
+  return static_cast<uint32_t>(e);
+}
+
+// Index of an event's callback list inside the HookChain.
+constexpr size_t hook_event_index(HookEvent e) {
+  uint32_t bit = static_cast<uint32_t>(e);
+  size_t index = 0;
+  while ((bit >>= 1) != 0) ++index;
+  return index;
+}
+
 class RuntimeHooks {
  public:
   virtual ~RuntimeHooks() = default;
+
+  // Capability mask: which events this hook wants, OR of hook_mask(...)
+  // values. The default subscribes to everything so ad-hoc hooks keep
+  // working; the built-in chain members (collector, coverage tracker, force
+  // hooks, taint presets) override this to the exact set they implement.
+  virtual uint32_t subscribed_events() const { return kAllHookEvents; }
 
   // --- class linker events ---
   virtual void on_dex_loaded(const DexImage& image) { (void)image; }

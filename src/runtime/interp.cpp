@@ -97,7 +97,7 @@ Interpreter::CallResult Interpreter::call(RtMethod& method, std::vector<Value> a
     return result;
   }
   ++depth_;
-  for (RuntimeHooks* h : rt_.hooks()) h->on_method_entry(method);
+  rt_.hook_chain().dispatch_method_entry(method);
 
   if (method.is_native()) {
     if (!method.native) {
@@ -124,7 +124,7 @@ Interpreter::CallResult Interpreter::call(RtMethod& method, std::vector<Value> a
     result = run_bytecode(method, args);
   }
 
-  for (RuntimeHooks* h : rt_.hooks()) h->on_method_exit(method);
+  rt_.hook_chain().dispatch_method_exit(method);
   --depth_;
   return result;
 }
@@ -159,9 +159,8 @@ Interpreter::CallResult Interpreter::run_bytecode(RtMethod& method,
       return out;
     }
 
-    for (RuntimeHooks* h : rt_.hooks()) {
-      h->on_instruction(method, static_cast<uint32_t>(pc), insns);
-    }
+    rt_.hook_chain().dispatch_instruction(method, static_cast<uint32_t>(pc),
+                                          insns);
 
     Insn insn;
     try {
@@ -232,14 +231,12 @@ Interpreter::CallResult Interpreter::run_bytecode(RtMethod& method,
                            ? eval_if(insn.op, regs.at(insn.a), regs.at(insn.b))
                            : eval_ifz(insn.op, regs.at(insn.a));
           bool forced = taken;
-          for (RuntimeHooks* h : rt_.hooks()) {
-            if (h->force_branch(method, static_cast<uint32_t>(pc), &forced)) {
-              taken = forced;
-            }
+          const HookChain& chain = rt_.hook_chain();
+          if (chain.dispatch_force_branch(method, static_cast<uint32_t>(pc),
+                                          &forced)) {
+            taken = forced;
           }
-          for (RuntimeHooks* h : rt_.hooks()) {
-            h->on_branch(method, static_cast<uint32_t>(pc), taken);
-          }
+          chain.dispatch_branch(method, static_cast<uint32_t>(pc), taken);
           if (taken) next = pc + static_cast<size_t>(insn.off);
           break;
         }
@@ -455,13 +452,8 @@ Interpreter::CallResult Interpreter::run_bytecode(RtMethod& method,
     }
 
     if (pending != nullptr) {
-      bool tolerated = false;
-      for (RuntimeHooks* h : rt_.hooks()) {
-        if (h->tolerate_exception(method, static_cast<uint32_t>(pc))) {
-          tolerated = true;
-          break;
-        }
-      }
+      bool tolerated = rt_.hook_chain().dispatch_tolerate_exception(
+          method, static_cast<uint32_t>(pc));
       if (tolerated) {
         pending = nullptr;
         pc += insn.width;  // skip the faulting instruction

@@ -1,7 +1,5 @@
 #include "src/runtime/runtime.h"
 
-#include <algorithm>
-
 #include "src/dex/io.h"
 #include "src/support/log.h"
 
@@ -10,12 +8,6 @@ namespace dexlego::rt {
 Runtime::Runtime(RuntimeConfig cfg)
     : cfg_(cfg), linker_(*this), interp_(*this) {
   install_framework_builtins(*this);
-}
-
-void Runtime::add_hooks(RuntimeHooks* hooks) { hooks_.push_back(hooks); }
-
-void Runtime::remove_hooks(RuntimeHooks* hooks) {
-  hooks_.erase(std::remove(hooks_.begin(), hooks_.end(), hooks), hooks_.end());
 }
 
 void Runtime::register_native(std::string full_name, NativeFn fn) {

@@ -15,6 +15,7 @@
 
 #include "src/dex/archive.h"
 #include "src/runtime/class_linker.h"
+#include "src/runtime/hook_chain.h"
 #include "src/runtime/hooks.h"
 #include "src/runtime/interp.h"
 #include "src/runtime/object.h"
@@ -48,9 +49,17 @@ class Runtime {
   Heap& heap() { return heap_; }
 
   // --- instrumentation ---
-  void add_hooks(RuntimeHooks* hooks);
-  void remove_hooks(RuntimeHooks* hooks);
-  std::span<RuntimeHooks* const> hooks() const { return hooks_; }
+  // Members join the hook chain with their declared capability mask; the
+  // two-arg overload narrows a hook to an explicit event set.
+  void add_hooks(RuntimeHooks* hooks) { chain_.add(hooks); }
+  void add_hooks(RuntimeHooks* hooks, uint32_t event_mask) {
+    chain_.add(hooks, event_mask);
+  }
+  void remove_hooks(RuntimeHooks* hooks) { chain_.remove(hooks); }
+  const HookChain& hook_chain() const { return chain_; }
+  // Registration-ordered member view (diagnostics; dispatch goes through
+  // hook_chain()'s per-event lists).
+  std::span<RuntimeHooks* const> hooks() const { return chain_.members(); }
 
   // --- native methods (JNI analog) & framework builtins ---
   void register_native(std::string full_name, NativeFn fn);
@@ -111,7 +120,7 @@ class Runtime {
   Heap heap_;
   ClassLinker linker_;
   Interpreter interp_;
-  std::vector<RuntimeHooks*> hooks_;
+  HookChain chain_;
   std::map<std::string, NativeFn> natives_;
   std::map<std::string, NativeFn> builtins_;
   std::optional<dex::Apk> apk_;

@@ -39,7 +39,10 @@ void ByteWriter::patch_u32(size_t offset, uint32_t v) {
 }
 
 void ByteReader::need(size_t n) const {
-  if (pos_ + n > data_.size()) throw ParseError("unexpected end of data");
+  // Subtract rather than add: `pos_ + n` can wrap for hostile sizes (e.g. a
+  // length field of SIZE_MAX), which would silently pass the check and read
+  // out of bounds.
+  if (n > data_.size() - pos_) throw ParseError("unexpected end of data");
 }
 
 uint8_t ByteReader::u8() {

@@ -14,6 +14,9 @@
 #include <vector>
 
 #include "src/benchsuite/droidbench.h"
+#include "src/core/dexlego.h"
+#include "src/coverage/force.h"
+#include "src/dex/io.h"
 #include "src/pipeline/batch.h"
 #include "src/pipeline/dedup_store.h"
 #include "src/pipeline/scenarios.h"
@@ -141,6 +144,10 @@ void expect_identical_reports(const pipeline::BatchReport& sequential,
     EXPECT_EQ(seq.collection_bytes, par.collection_bytes) << seq.name;
     EXPECT_DOUBLE_EQ(seq.instruction_coverage, par.instruction_coverage)
         << seq.name;
+    EXPECT_DOUBLE_EQ(seq.branch_coverage, par.branch_coverage) << seq.name;
+    EXPECT_EQ(seq.forced_branches, par.forced_branches) << seq.name;
+    EXPECT_EQ(seq.force_paths, par.force_paths) << seq.name;
+    EXPECT_EQ(seq.force_waves, par.force_waves) << seq.name;
   }
   // Per-job dedup attribution is scheduling-dependent; the fleet totals and
   // the store contents are not.
@@ -286,6 +293,125 @@ TEST(BatchPipeline, SharedStoreDedupsAcrossBatches) {
   EXPECT_EQ(second.fleet.dedup_misses, 0u);  // everything already stored
   EXPECT_GT(second.fleet.dedup_hits, 0u);
   EXPECT_EQ(store.stats().entries, entries_after_first);
+}
+
+// --- force execution on the pipeline: (app, plan) units -------------------
+
+TEST(ForcePipeline, ByteIdenticalAcrossThreadCountsOnDroidBench) {
+  // The acceptance bar for the worklist engine: with force exploration on,
+  // one app's plan units shard across workers, yet the reassembled DEX and
+  // every deterministic stat match the sequential run at any thread count.
+  // Guarded apps ride along: their multi-wave frontiers are the stress case.
+  std::vector<pipeline::BatchJob> jobs = pipeline::droidbench_jobs();
+  for (pipeline::BatchJob& job : pipeline::guarded_jobs(2)) {
+    jobs.push_back(std::move(job));
+  }
+  pipeline::enable_force(jobs, {});
+
+  pipeline::BatchOptions baseline;
+  baseline.threads = 1;
+  pipeline::BatchReport reference = pipeline::run_batch(jobs, baseline);
+  ASSERT_EQ(reference.fleet.ok, jobs.size());
+  EXPECT_EQ(reference.fleet.verified, jobs.size());
+  EXPECT_GT(reference.fleet.forced_paths, 0u);
+
+  for (size_t threads : {2u, 4u, 8u}) {
+    pipeline::BatchOptions options;
+    options.threads = threads;
+    pipeline::BatchReport report = pipeline::run_batch(jobs, options);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    expect_identical_reports(reference, report);
+  }
+}
+
+// Runs both force algorithms on one job under the batch driver and adds
+// their branch tallies to the totals. Returns false if the engine ever
+// falls below the single-plan replay on a sample.
+struct ForceComparison {
+  size_t legacy_covered = 0;
+  size_t engine_covered = 0;
+  size_t total = 0;
+
+  void add(const pipeline::BatchJob& job) {
+    dex::DexFile file = dex::read_dex(job.apk.classes());
+
+    coverage::CoverageTracker seed;
+    {
+      rt::Runtime runtime;
+      if (job.configure_runtime) job.configure_runtime(runtime);
+      runtime.add_hooks(&seed);
+      runtime.install(job.apk);
+      core::default_driver(runtime, 0);
+    }
+
+    coverage::ForceOptions options;
+    options.run.configure_runtime = job.configure_runtime;
+    options.driver = [](rt::Runtime& runtime) {
+      core::default_driver(runtime, 0);
+    };
+    coverage::ForceResult legacy =
+        coverage::single_plan_force_execute(job.apk, options, seed);
+    coverage::ForceResult engine =
+        coverage::force_execute(job.apk, options, seed);
+
+    coverage::CoverageTracker::Report lr = legacy.coverage.report(file);
+    coverage::CoverageTracker::Report er = engine.coverage.report(file);
+    EXPECT_GE(er.branches_covered, lr.branches_covered) << job.name;
+    legacy_covered += lr.branches_covered;
+    engine_covered += er.branches_covered;
+    total += er.branches_total;
+  }
+};
+
+TEST(ForcePipeline, EngineStrictlyExceedsSinglePlanReplay) {
+  // The worklist engine must beat the pre-engine algorithm (one combined
+  // plan replayed per iteration) on branch coverage: per-target plans cannot
+  // interfere across methods, and prefixes chain through interprocedural
+  // guards that the single plan loses forever (a forced branch that starves
+  // another method's target marks it attempted with no retry).
+  //
+  // On the DroidBench samples the single plan already reaches the ceiling —
+  // every sample has at most one reachable conditional, so the engine must
+  // only never fall below it there. The strict gap comes from the guarded
+  // population (the Table VII force-execution workload), whose magic-string
+  // guards hide classes with internal branch structure.
+  ForceComparison cmp;
+  for (const pipeline::BatchJob& job : pipeline::droidbench_jobs()) cmp.add(job);
+  size_t droidbench_legacy = cmp.legacy_covered;
+  size_t droidbench_engine = cmp.engine_covered;
+  EXPECT_GE(droidbench_engine, droidbench_legacy);
+
+  for (const pipeline::BatchJob& job : pipeline::guarded_jobs(3)) cmp.add(job);
+  EXPECT_GT(cmp.engine_covered, cmp.legacy_covered)
+      << "engine " << cmp.engine_covered << " vs single-plan "
+      << cmp.legacy_covered << " of " << cmp.total << " branch sides";
+}
+
+TEST(ForcePipeline, ForceRaisesBranchCoverageOverNaturalBatch) {
+  std::vector<pipeline::BatchJob> jobs = pipeline::droidbench_jobs();
+  pipeline::BatchReport natural = pipeline::run_batch(jobs, {});
+  pipeline::enable_force(jobs, {});
+  pipeline::BatchReport forced = pipeline::run_batch(jobs, {});
+  EXPECT_GT(forced.fleet.mean_branch_coverage,
+            natural.fleet.mean_branch_coverage);
+  EXPECT_EQ(forced.fleet.verified, jobs.size());
+}
+
+TEST(ForcePipeline, FailedForceJobIsIsolated) {
+  std::vector<pipeline::BatchJob> jobs = pipeline::generated_jobs(2);
+  pipeline::BatchJob broken;
+  broken.name = "broken";
+  broken.apk.set_classes({0xde, 0xad, 0xbe, 0xef});
+  jobs.insert(jobs.begin() + 1, std::move(broken));
+  pipeline::enable_force(jobs, {});
+
+  pipeline::BatchReport report = pipeline::run_batch(jobs, {});
+  ASSERT_EQ(report.jobs.size(), 3u);
+  EXPECT_TRUE(report.jobs[0].ok);
+  EXPECT_FALSE(report.jobs[1].ok);
+  EXPECT_FALSE(report.jobs[1].error.empty());
+  EXPECT_TRUE(report.jobs[2].ok);
+  EXPECT_EQ(report.fleet.ok, 2u);
 }
 
 // CPUs this process can actually use: hardware_concurrency() capped by the

@@ -65,6 +65,19 @@ TEST(ByteReader, ThrowsOnBadStringLength) {
   EXPECT_THROW(r.str(), ParseError);
 }
 
+TEST(ByteReader, OverflowSizedReadsThrowInsteadOfWrapping) {
+  // Sizes near SIZE_MAX would wrap a naive `pos + n > size` bounds check and
+  // silently pass; the reader must reject them like any other truncation.
+  ByteWriter w;
+  w.u32(0xdeadbeef);
+  ByteReader r(w.data());
+  r.skip(2);  // pos > 0 so `pos + SIZE_MAX` wraps past size
+  EXPECT_THROW(r.skip(SIZE_MAX), ParseError);
+  EXPECT_THROW(r.bytes(SIZE_MAX - 1), ParseError);
+  EXPECT_EQ(r.pos(), 2u);  // untouched by the failed reads
+  EXPECT_EQ(r.u16(), 0xdead);
+}
+
 TEST(ByteReader, SeekAndSkip) {
   ByteWriter w;
   for (int i = 0; i < 8; ++i) w.u8(static_cast<uint8_t>(i));
