@@ -1,0 +1,78 @@
+// Differential-fuzzing throughput: runs fixed-seed campaigns through
+// fuzz::run_campaign at 1, 2, 4 and 8 worker threads and reports oracle
+// executions/sec — the fleet-level metric for the mutate→reveal→diff loop.
+// The campaign report fingerprint is printed per row and must be identical
+// across thread counts (the determinism contract pinned by tests/fuzz_test).
+//
+// Each line prefixed BENCH_JSON is machine-readable (one JSON object per
+// thread count) so execs/sec trajectories can be tracked across commits.
+//
+// Usage: fuzz_throughput [iters] [seed]
+//   iters (default 120) oracle executions per thread count
+//   seed  (default 1)   campaign seed
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "src/fuzz/triage.h"
+
+using namespace dexlego;
+
+int main(int argc, char** argv) {
+  size_t iters = argc > 1 ? static_cast<size_t>(std::atoi(argv[1])) : 120;
+  uint64_t seed = argc > 2 ? static_cast<uint64_t>(std::atoll(argv[2])) : 1;
+  if (iters < 8) iters = 8;
+
+  bench::print_header("Differential fuzzing execs/sec (campaign seed " +
+                      std::to_string(seed) + ", " + std::to_string(iters) +
+                      " iters)");
+  std::printf("hardware threads available: %u\n\n",
+              std::thread::hardware_concurrency());
+  bench::print_row({"Threads", "Wall ms", "Execs", "Execs/sec", "Findings",
+                    "Speedup", "Report"},
+                   {10, 12, 8, 12, 10, 10, 18});
+
+  double sequential_ms = 0.0;
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    fuzz::CampaignOptions options;
+    options.seed = seed;
+    options.iters = iters;
+    options.threads = threads;
+    options.minimize = false;  // measure the oracle loop, not triage
+    fuzz::CampaignReport report = fuzz::run_campaign(options);
+    if (threads == 1) sequential_ms = report.wall_ms;
+    double speedup =
+        report.wall_ms > 0.0 ? sequential_ms / report.wall_ms : 0.0;
+
+    char wall_s[24], execs_s[16], rate_s[24], findings_s[16], speed_s[16],
+        fp_s[24];
+    std::snprintf(wall_s, sizeof(wall_s), "%.1f", report.wall_ms);
+    std::snprintf(execs_s, sizeof(execs_s), "%zu", report.executed);
+    std::snprintf(rate_s, sizeof(rate_s), "%.1f", report.execs_per_sec);
+    std::snprintf(findings_s, sizeof(findings_s), "%zu",
+                  report.findings.size());
+    std::snprintf(speed_s, sizeof(speed_s), "%.2fx", speedup);
+    std::snprintf(fp_s, sizeof(fp_s), "%016llx",
+                  static_cast<unsigned long long>(report.report_fingerprint()));
+    bench::print_row({std::to_string(threads), wall_s, execs_s, rate_s,
+                      findings_s, speed_s, fp_s},
+                     {10, 12, 8, 12, 10, 10, 18});
+
+    std::printf(
+        "BENCH_JSON {\"bench\":\"fuzz_throughput\",\"threads\":%zu,"
+        "\"iters\":%zu,\"executed\":%zu,\"wall_ms\":%.2f,"
+        "\"execs_per_sec\":%.2f,\"equivalent\":%zu,\"rejected\":%zu,"
+        "\"divergent\":%zu,\"crashed\":%zu,\"findings\":%zu,"
+        "\"report_fingerprint\":\"%016llx\",\"speedup_vs_1t\":%.3f}\n",
+        threads, iters, report.executed, report.wall_ms, report.execs_per_sec,
+        report.equivalent, report.rejected, report.divergent, report.crashed,
+        report.findings.size(),
+        static_cast<unsigned long long>(report.report_fingerprint()), speedup);
+  }
+  std::printf(
+      "\n(execs/sec tracks the cores the container actually grants; the "
+      "report fingerprint must not vary across rows)\n");
+  return 0;
+}

@@ -48,11 +48,19 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 "$BUILD_DIR"/examples/dexlego_batch --scenario guarded --count 2 --force \
   --jobs 2 --compare-sequential --quiet
 
+# --- fuzz smoke ------------------------------------------------------------
+# A time-boxed fixed-seed differential-fuzzing campaign (docs/FUZZING.md).
+# Exit 1 means an unminimized divergence or crash survived to HEAD: the
+# campaign prints the finding's seed/ops so it can be triaged into
+# tests/data/fuzz/. ~30 s on one core; fully deterministic.
+"$BUILD_DIR"/examples/dexlego_fuzz --seed 1 --iters 250 --quiet
+
 # --- ThreadSanitizer pass --------------------------------------------------
 # Rebuilds the concurrency-bearing suites (pipeline_test: work-queue
 # scheduler + DedupStore races; force_engine_test: the frontier logic the
-# scheduler drives) under TSan and runs them. Skipped where TSan can't
-# compile, link or execute (older toolchains, restricted sandboxes).
+# scheduler drives; fuzz_test: the campaign worker pool sharing resolved
+# seeds) under TSan and runs them. Skipped where TSan can't compile, link or
+# execute (older toolchains, restricted sandboxes).
 TSAN_DIR="${TSAN_DIR:-${BUILD_DIR}-tsan}"
 tsan_probe="$(mktemp -d)"
 cat > "$tsan_probe/probe.cpp" <<'EOF'
@@ -65,9 +73,11 @@ if c++ -fsanitize=thread -o "$tsan_probe/probe" "$tsan_probe/probe.cpp" \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" \
     -DDEXLEGO_BUILD_BENCHES=OFF -DDEXLEGO_BUILD_EXAMPLES=OFF
-  cmake --build "$TSAN_DIR" -j "$JOBS" --target pipeline_test force_engine_test
+  cmake --build "$TSAN_DIR" -j "$JOBS" \
+    --target pipeline_test force_engine_test fuzz_test
   "$TSAN_DIR"/tests/pipeline_test
   "$TSAN_DIR"/tests/force_engine_test
+  "$TSAN_DIR"/tests/fuzz_test
 else
   echo "ThreadSanitizer unavailable; skipping TSan pass"
 fi

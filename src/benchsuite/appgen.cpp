@@ -1,5 +1,7 @@
 #include "src/benchsuite/appgen.h"
 
+#include <optional>
+
 #include "src/bytecode/assembler.h"
 #include "src/dex/builder.h"
 #include "src/dex/io.h"
@@ -12,6 +14,7 @@ using bc::Op;
 namespace {
 
 constexpr const char* kStr = "Ljava/lang/String;";
+constexpr const char* kObj = "Ljava/lang/Object;";
 
 uint16_t m(dex::DexBuilder& b, const std::string& cls, const std::string& name,
            const std::string& ret, const std::vector<std::string>& params) {
@@ -172,6 +175,79 @@ void add_leak_method(dex::DexBuilder& b, int index,
   b.add_direct_method("leak" + std::to_string(index), "V", {}, as.finish());
 }
 
+// --- hostile-app features (AppSpec fuzz knobs, docs/FUZZING.md) ------------
+
+std::string xor_encode(std::string s, int key) {
+  for (char& c : s) c = static_cast<char>(c ^ key);
+  return s;
+}
+
+// Dispatch chain m1 -> m2 -> ... -> Log.i, entered reflectively from
+// onCreate with xor-encoded names (the obf-reflection DroidBench shape).
+void add_reflection_maze(dex::DexBuilder& b, const std::string& maze_cls,
+                         int depth, uint64_t seed) {
+  b.start_class(maze_cls);
+  for (int i = depth; i >= 1; --i) {
+    MethodAssembler as(3, 0);
+    if (i == depth) {
+      uint32_t msg = b.intern_string("maze-end-" + std::to_string(seed));
+      as.const_string(0, static_cast<uint16_t>(msg));
+      as.invoke(Op::kInvokeStatic, m(b, "Landroid/util/Log;", "i", "V", {kStr}),
+                {0});
+    } else {
+      as.invoke(Op::kInvokeStatic,
+                m(b, maze_cls, "m" + std::to_string(i + 1), "V", {}), {});
+    }
+    as.return_void();
+    b.add_direct_method("m" + std::to_string(i), "V", {}, as.finish());
+  }
+}
+
+// The paper's Code 1 shape on the main activity: smDrive loops twice calling
+// smNormal(payload) then a tamper native that swaps the call target to
+// smCovert (which logs the payload) and back. Returns the pc of the
+// swappable invoke inside smDrive.
+size_t add_self_mod_methods(dex::DexBuilder& b, const std::string& main,
+                            uint64_t seed) {
+  uint16_t norm_m = m(b, main, "smNormal", "V", {kStr});
+  m(b, main, "smCovert", "V", {kStr});  // interned so the tamper can name it
+  b.add_native_method("smTamper", "V", {"I"});
+  uint16_t tamper_m = m(b, main, "smTamper", "V", {"I"});
+  {
+    MethodAssembler as(2, 2);
+    as.return_void();
+    b.add_virtual_method("smNormal", "V", {kStr}, as.finish());
+  }
+  {
+    MethodAssembler as(3, 2);  // this v1, param v2
+    as.invoke(Op::kInvokeStatic, m(b, "Landroid/util/Log;", "i", "V", {kStr}),
+              {2});
+    as.return_void();
+    b.add_virtual_method("smCovert", "V", {kStr}, as.finish());
+  }
+  size_t call_pc = 0;
+  {
+    MethodAssembler as(4, 1);  // this v3
+    auto loop = as.make_label();
+    auto done = as.make_label();
+    uint32_t payload = b.intern_string("sm-payload-" + std::to_string(seed));
+    as.const_string(0, static_cast<uint16_t>(payload));
+    as.const16(1, 0);
+    as.const16(2, 2);
+    as.bind(loop);
+    as.if_test(Op::kIfGe, 1, 2, done);
+    call_pc = as.current_pc();
+    as.invoke(Op::kInvokeVirtual, norm_m, {3, 0});
+    as.invoke(Op::kInvokeVirtual, tamper_m, {3, 1});
+    as.add_lit8(1, 1, 1);
+    as.goto_(loop);
+    as.bind(done);
+    as.return_void();
+    b.add_virtual_method("smDrive", "V", {}, as.finish());
+  }
+  return call_pc;
+}
+
 }  // namespace
 
 GeneratedApp generate_app(const AppSpec& spec) {
@@ -247,6 +323,11 @@ GeneratedApp generate_app(const AppSpec& spec) {
     build_classes("Dead", dead_units, spec.full_coverage_style);  // never called
   }
 
+  std::string maze_cls = "L" + pkg_path + "/Maze;";
+  if (spec.reflection_maze > 0) {
+    add_reflection_maze(b, maze_cls, spec.reflection_maze, spec.seed);
+  }
+
   // Leak methods (Table V): device id first, then the app's assigned mix.
   std::vector<SrcSink> leak_specs = {
       {"Landroid/telephony/TelephonyManager;", "getDeviceId",
@@ -266,6 +347,10 @@ GeneratedApp generate_app(const AppSpec& spec) {
       add_leak_method(b, i, leak_specs[static_cast<size_t>(i) % leak_specs.size()]);
     }
   }
+  size_t sm_call_pc = 0;
+  if (spec.self_modifying) {
+    sm_call_pc = add_self_mod_methods(b, main, spec.seed);
+  }
   {
     MethodAssembler as(5, 1);  // this in v4
     as.line(10);
@@ -276,10 +361,27 @@ GeneratedApp generate_app(const AppSpec& spec) {
                 {0});
     }
     as.const16(0, 1);
+    // Opaque-true guard stack: each level recomputes the same value two ways
+    // and branches to skip on the (never-true) mismatch, so static CFGs gain
+    // depth while runtime behaviour stays identical.
+    std::optional<MethodAssembler::Label> hostile_skip;
+    if (spec.guard_stack > 0) {
+      hostile_skip = as.make_label();
+      for (int g = 0; g < spec.guard_stack; ++g) {
+        int16_t anchor = static_cast<int16_t>(
+            101 + (spec.seed + static_cast<uint64_t>(g) * 37) % 997);
+        int8_t delta = static_cast<int8_t>(1 + g % 7);
+        as.const16(1, anchor);
+        as.add_lit8(2, 1, delta);
+        as.add_lit8(2, 2, static_cast<int8_t>(-delta));
+        as.if_test(Op::kIfNe, 1, 2, *hostile_skip);
+      }
+    }
     for (uint16_t entry : base_entries) {
       as.invoke(Op::kInvokeStatic, entry, {0});
       as.move_result(0);
     }
+    if (hostile_skip.has_value()) as.bind(*hostile_skip);
     for (int i = 0; i < spec.leak_flows; ++i) {
       as.invoke(Op::kInvokeStatic,
                 m(b, main, "leak" + std::to_string(i), "V", {}), {});
@@ -309,6 +411,36 @@ GeneratedApp generate_app(const AppSpec& spec) {
       as.move_result(0);
       as.bind(skip);
     }
+    if (spec.reflection_maze > 0) {
+      int key = spec.reflection_key & 0x7f;
+      if (key == 0) key = 7;
+      uint16_t xor_m =
+          m(b, "Ldexlego/api/Crypto;", "xorDecode", kStr, {kStr, "I"});
+      uint16_t forname =
+          m(b, "Ljava/lang/Class;", "forName", "Ljava/lang/Class;", {kStr});
+      uint16_t getm = m(b, "Ljava/lang/Class;", "getMethod",
+                        "Ljava/lang/reflect/Method;", {kStr});
+      uint16_t invoke_m =
+          m(b, "Ljava/lang/reflect/Method;", "invoke", kObj, {kObj});
+      uint32_t enc_cls = b.intern_string(xor_encode(maze_cls, key));
+      uint32_t enc_method = b.intern_string(xor_encode("m1", key));
+      as.const16(2, static_cast<int16_t>(key));
+      as.const_string(0, static_cast<uint16_t>(enc_cls));
+      as.invoke(Op::kInvokeStatic, xor_m, {0, 2});
+      as.move_result(0);
+      as.invoke(Op::kInvokeStatic, forname, {0});
+      as.move_result(0);
+      as.const_string(1, static_cast<uint16_t>(enc_method));
+      as.invoke(Op::kInvokeStatic, xor_m, {1, 2});
+      as.move_result(1);
+      as.invoke(Op::kInvokeVirtual, getm, {0, 1});
+      as.move_result(0);
+      as.const_null(1);
+      as.invoke(Op::kInvokeVirtual, invoke_m, {0, 1});
+    }
+    if (spec.self_modifying) {
+      as.invoke(Op::kInvokeVirtual, m(b, main, "smDrive", "V", {}), {4});
+    }
     as.return_void();
     b.add_virtual_method("onCreate", "V", {}, as.finish());
   }
@@ -322,6 +454,33 @@ GeneratedApp generate_app(const AppSpec& spec) {
   manifest.version = "1.0";
   app.apk.set_manifest(manifest);
   app.apk.set_classes(dex::write_dex(file));
+  if (spec.self_modifying) {
+    // The tamper resolves the swap target against the image that actually
+    // defines the class (packers re-intern pools), exactly like the
+    // DroidBench self-modifying samples.
+    std::string native_name = main + "->smTamper";
+    std::string cls = main;
+    size_t call_pc = sm_call_pc;
+    app.configure_runtime = [native_name, cls, call_pc](rt::Runtime& runtime) {
+      runtime.register_native(
+          native_name,
+          [cls, call_pc](rt::NativeContext& ctx, std::span<rt::Value> args) {
+            rt::RtClass* c = ctx.runtime.linker().resolve(cls);
+            if (c == nullptr) return rt::Value::Null();
+            rt::RtMethod* drive = c->find_declared("smDrive");
+            if (drive == nullptr || !drive->code) return rt::Value::Null();
+            const dex::DexFile& file = drive->image->file;
+            uint32_t target = file.find_method_ref(
+                cls, args.size() > 1 && args[1].test_value() == 0 ? "smCovert"
+                                                                  : "smNormal");
+            if (target == dex::kNoIndex) return rt::Value::Null();
+            if (call_pc + 1 < drive->code->insns.size()) {
+              drive->code->insns[call_pc + 1] = static_cast<uint16_t>(target);
+            }
+            return rt::Value::Null();
+          });
+    };
+  }
   return app;
 }
 

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -40,11 +41,28 @@ struct AppSpec {
   // onCreate — models the native init/display share of an app launch, which
   // collection does not slow down.
   int render_frames_k = 0;
+
+  // --- hostile-app knobs (the fuzz behavioral family, docs/FUZZING.md) ---
+  // Opaque-true guards stacked in front of the entry calls: the CFG deepens
+  // but runtime behaviour is unchanged (the skip side is never taken).
+  int guard_stack = 0;
+  // Depth of an xor-obfuscated reflective dispatch chain invoked from
+  // onCreate (Class.forName / getMethod / Method.invoke with encoded names).
+  int reflection_maze = 0;
+  int reflection_key = 7;  // xor key for the encoded maze names
+  // Adds a tamper native that swaps a benign call for a covert one between
+  // loop iterations (the paper's Code 1 shape). The native resolves method
+  // indices against the executing image, and the returned
+  // GeneratedApp::configure_runtime must be installed on every runtime.
+  bool self_modifying = false;
 };
 
 struct GeneratedApp {
   dex::Apk apk;
   size_t code_units = 0;  // the "# of Instructions" metric
+  // Registers generated natives (self-modification). Null unless the spec
+  // asked for features that need one.
+  std::function<void(rt::Runtime&)> configure_runtime;
 };
 
 GeneratedApp generate_app(const AppSpec& spec);

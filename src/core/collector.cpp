@@ -68,21 +68,10 @@ MethodKey Collector::key_of(const rt::RtMethod& method) {
       method.name, method.shorty};
 }
 
-void Collector::on_class_initialized(rt::RtClass& cls) {
-  if (cls.is_framework) return;
-  if (!seen_classes_.insert(cls.descriptor).second) return;
+namespace {
 
-  CollectedClass out;
-  out.descriptor = cls.descriptor;
-  out.super_descriptor = cls.super_descriptor;
-  out.access_flags = cls.access_flags;
-  for (const rt::RtField& f : cls.instance_fields) {
-    CollectedField cf;
-    cf.name = f.name;
-    cf.type_descriptor = f.type_descriptor;
-    cf.access_flags = f.access_flags;
-    out.instance_fields.push_back(std::move(cf));
-  }
+std::vector<CollectedField> snapshot_statics(const rt::RtClass& cls) {
+  std::vector<CollectedField> fields;
   for (const rt::RtField& f : cls.static_fields) {
     CollectedField cf;
     cf.name = f.name;
@@ -98,9 +87,44 @@ void Collector::on_class_initialized(rt::RtClass& cls) {
     } else {
       cf.static_value.kind = CollectedValue::Kind::kNull;
     }
-    out.static_fields.push_back(std::move(cf));
+    fields.push_back(std::move(cf));
   }
+  return fields;
+}
+
+}  // namespace
+
+void Collector::on_class_loaded(rt::RtClass& cls) {
+  if (cls.is_framework) return;
+  if (class_index_.contains(cls.descriptor)) return;
+
+  CollectedClass out;
+  out.descriptor = cls.descriptor;
+  out.super_descriptor = cls.super_descriptor;
+  out.access_flags = cls.access_flags;
+  for (const rt::RtField& f : cls.instance_fields) {
+    CollectedField cf;
+    cf.name = f.name;
+    cf.type_descriptor = f.type_descriptor;
+    cf.access_flags = f.access_flags;
+    out.instance_fields.push_back(std::move(cf));
+  }
+  out.static_fields = snapshot_statics(cls);
+  class_index_.emplace(cls.descriptor, output_.classes.size());
   output_.classes.push_back(std::move(out));
+}
+
+void Collector::on_class_initialized(rt::RtClass& cls) {
+  if (cls.is_framework) return;
+  // Load always precedes initialization, but be defensive about hooks
+  // attached mid-run (force execution re-runs apps on a shared collector).
+  auto it = class_index_.find(cls.descriptor);
+  if (it == class_index_.end()) {
+    on_class_loaded(cls);
+    it = class_index_.find(cls.descriptor);
+    if (it == class_index_.end()) return;
+  }
+  output_.classes[it->second].static_fields = snapshot_statics(cls);
 }
 
 MethodRecord& Collector::record_for(rt::RtMethod& method) {

@@ -33,12 +33,21 @@ class Collector : public rt::RuntimeHooks {
 
   // --- RuntimeHooks ---
   uint32_t subscribed_events() const override {
-    return rt::hook_mask(rt::HookEvent::kClassInitialized) |
+    return rt::hook_mask(rt::HookEvent::kClassLoaded) |
+           rt::hook_mask(rt::HookEvent::kClassInitialized) |
            rt::hook_mask(rt::HookEvent::kMethodEntry) |
            rt::hook_mask(rt::HookEvent::kMethodExit) |
            rt::hook_mask(rt::HookEvent::kInstruction) |
            rt::hook_mask(rt::HookEvent::kReflectiveInvoke);
   }
+  // Structure is captured at *load* so classes reached only reflectively
+  // (Class.forName without a subsequent call) survive into the revealed
+  // file; static values are re-snapshotted at *initialization* so they
+  // reflect the post-<clinit> state. Split found by the structural fuzzer:
+  // a mutant that died between forName and the first call produced a
+  // revealed app missing the loaded class (replay file
+  // tests/data/fuzz/structural-loaded-class-fixed.lfz).
+  void on_class_loaded(rt::RtClass& cls) override;
   void on_class_initialized(rt::RtClass& cls) override;
   void on_method_entry(rt::RtMethod& method) override;
   void on_method_exit(rt::RtMethod& method) override;
@@ -66,7 +75,8 @@ class Collector : public rt::RuntimeHooks {
   Options options_;
   CollectionOutput output_;
   std::vector<Activation> stack_;
-  std::set<std::string> seen_classes_;
+  // descriptor -> index into output_.classes, for the init-time re-snapshot.
+  std::map<std::string, size_t> class_index_;
   // Fingerprints of the trees already stored per method — mirrors
   // output_.methods[key].trees so finish_activation dedups in O(log n)
   // instead of re-hashing every stored tree.

@@ -323,8 +323,30 @@ dex::CodeItem TreeEmitter::emit() {
   if (frame_registers_ == 0) frame_registers_ = 1;
   if (frame_registers_ > 255) throw std::runtime_error("frame overflow");
 
-  // Layout pass.
-  size_t offset = 0;
+  // Growing the frame moves the incoming arguments up (the interpreter banks
+  // ins at the top of the frame), while the carried-over code still addresses
+  // them at their original registers. A prologue of moves puts every argument
+  // back where the original code expects it. Latent until the fuzzer made
+  // control flow depend on an argument register (replay file
+  // tests/data/fuzz/bytecode-arg-shift-fixed.lfz).
+  std::vector<uint16_t> prologue;
+  {
+    uint16_t old_base = static_cast<uint16_t>(
+        std::max<uint16_t>(rec_.registers_size, rec_.ins_size) - rec_.ins_size);
+    uint16_t new_base =
+        static_cast<uint16_t>(frame_registers_ - rec_.ins_size);
+    // Increasing order is overlap-safe: each move reads above every register
+    // written so far.
+    for (uint16_t i = 0; new_base != old_base && i < rec_.ins_size; ++i) {
+      Insn mv{.op = Op::kMove, .a = static_cast<uint8_t>(old_base + i),
+              .b = static_cast<uint8_t>(new_base + i)};
+      bc::encode_to(mv, prologue);
+    }
+  }
+
+  // Layout pass. Offsets start past the prologue; every control transfer is
+  // a difference of item offsets, so the uniform shift cancels.
+  size_t offset = prologue.size();
   for (Item& item : items_) {
     item.offset = offset;
     item.width = item_width(item);
@@ -334,6 +356,7 @@ dex::CodeItem TreeEmitter::emit() {
   // Emission pass.
   std::vector<uint16_t> code;
   code.reserve(offset);
+  code.insert(code.end(), prologue.begin(), prologue.end());
   for (const Item& item : items_) {
     switch (item.kind) {
       case Item::Kind::kInsn:
@@ -540,7 +563,6 @@ ReassembleResult reassemble(const CollectionOutput& input,
   for (const CollectedClass& c : input.classes) class_descriptors.insert(c.descriptor);
 
   size_t guard_counter = 0;
-  std::vector<uint32_t> modification_fields;
 
   auto emit_class = [&](const CollectedClass* cls, const std::string& descriptor) {
     std::string super =
@@ -562,6 +584,14 @@ ReassembleResult reassemble(const CollectionOutput& input,
 
     auto mit = by_class.find(descriptor);
     if (mit == by_class.end()) return;
+    // Synthetic variant names must never collide with a method already in
+    // the input: a once-revealed app carries the previous round's name$vN
+    // variants, and re-defining one made invoke resolution ambiguous (the
+    // first definition — a traced dispatcher body invoking its own name —
+    // recursed to StackOverflowError; fuzzer finding, replay file
+    // tests/data/fuzz/bytecode-variant-collision-fixed.lfz).
+    std::set<std::string> taken_names;
+    for (const MethodRecord* r : mit->second) taken_names.insert(r->key.name);
     for (const MethodRecord* rec : mit->second) {
       ++stats.methods;
       bool is_direct = (rec->access_flags &
@@ -625,7 +655,11 @@ ReassembleResult reassemble(const CollectionOutput& input,
       std::vector<uint32_t> variant_refs;
       std::vector<uint32_t> selector_fields;
       for (size_t v = 0; v < bodies.size(); ++v) {
-        std::string vname = rec->key.name + "$v" + std::to_string(v);
+        std::string vname;
+        for (size_t ordinal = v;; ++ordinal) {
+          vname = rec->key.name + "$v" + std::to_string(ordinal);
+          if (taken_names.insert(vname).second) break;
+        }
         uint32_t mref;
         uint32_t vflags = (rec->access_flags & ~dex::kAccConstructor) |
                           dex::kAccSynthetic;
@@ -662,24 +696,48 @@ ReassembleResult reassemble(const CollectionOutput& input,
     }
   };
 
-  for (const CollectedClass& cls : input.classes) emit_class(&cls, cls.descriptor);
+  // The reassembler owns the instrument class: a once-revealed input already
+  // carries Ldexlego/Modification;, and emitting the collected copy *and*
+  // the synthesized one below produced a duplicate class definition on
+  // re-reveal (found by the fuzzer's idempotence oracle, replay file
+  // tests/data/fuzz/bytecode-idempotence-fixed.lfz). Hold the collected copy
+  // back and fold its fields into the synthesized definition instead.
+  const CollectedClass* collected_instrument = nullptr;
+  for (const CollectedClass& cls : input.classes) {
+    if (cls.descriptor == kModificationClass) {
+      collected_instrument = &cls;
+      continue;
+    }
+    emit_class(&cls, cls.descriptor);
+  }
   for (const auto& [descriptor, _] : by_class) {
+    if (descriptor == kModificationClass) continue;
     if (!class_descriptors.contains(descriptor)) emit_class(nullptr, descriptor);
   }
 
   // The instrument class: every Ldexlego/Modification; field interned by the
   // emitters becomes a static int field initialized to 0 (value is irrelevant
   // to static analysis; reachability of both branches is what matters).
+  // Collected fields come first so the definition is stable across repeated
+  // reveals even when this round's emitters interned nothing new.
   {
-    const dex::DexFile& partial = builder.file();
     std::vector<std::string> field_names;
+    std::set<std::string> seen_fields;
+    if (collected_instrument != nullptr) {
+      for (const CollectedField& f : collected_instrument->static_fields) {
+        if (seen_fields.insert(f.name).second) field_names.push_back(f.name);
+      }
+    }
+    const dex::DexFile& partial = builder.file();
     for (const dex::FieldRef& f : partial.fields) {
       if (partial.type_descriptor(f.class_type) == kModificationClass) {
-        field_names.push_back(partial.string_at(f.name));
+        std::string name = partial.string_at(f.name);
+        if (seen_fields.insert(name).second) field_names.push_back(name);
       }
     }
     if (!field_names.empty()) {
       builder.start_class(kModificationClass);
+      ++stats.classes;
       for (const std::string& name : field_names) {
         builder.add_static_field(name, "I", dex::DexBuilder::int_value(0));
       }

@@ -30,7 +30,11 @@ class Verifier {
 
   VerifyResult run() {
     check_pools();
-    check_classes();
+    // Broken pools make reference chasing inside the class checks
+    // (type_descriptor, pretty_field/method) throw out_of_range instead of
+    // reporting — found by the structural fuzzer (tests/data/fuzz). Report
+    // the pool errors alone; classes are only checked against clean pools.
+    if (result_.errors.empty()) check_classes();
     return std::move(result_);
   }
 
@@ -39,6 +43,15 @@ class Verifier {
 
   bool valid_string(uint32_t idx) { return idx < file_.strings.size(); }
   bool valid_type(uint32_t idx) { return idx < file_.types.size(); }
+
+  // Descriptor of a type index, or nullptr when either indirection level is
+  // out of bounds — chasing a valid type whose *string* index is broken must
+  // report, not throw (found by the structural fuzzer, tests/data/fuzz/).
+  const std::string* descriptor_of(uint32_t type_idx) {
+    if (!valid_type(type_idx)) return nullptr;
+    uint32_t s = file_.types[type_idx];
+    return valid_string(s) ? &file_.strings[s] : nullptr;
+  }
 
   void check_pools() {
     for (size_t i = 0; i < file_.types.size(); ++i) {
@@ -60,8 +73,11 @@ class Verifier {
       for (uint32_t t : p.param_types) {
         if (!valid_type(t)) {
           fail("proto " + std::to_string(i) + ": param type out of bounds");
-        } else if (file_.type_descriptor(t) == "V") {
-          fail("proto " + std::to_string(i) + ": void parameter");
+        } else {
+          const std::string* desc = descriptor_of(t);
+          if (desc != nullptr && *desc == "V") {
+            fail("proto " + std::to_string(i) + ": void parameter");
+          }
         }
       }
     }
@@ -154,8 +170,26 @@ class Verifier {
       }
       for (const FieldDef& f : cls.static_fields) check_field_def(f, true, where);
       for (const FieldDef& f : cls.instance_fields) check_field_def(f, false, where);
-      for (const MethodDef& m : cls.direct_methods) check_method_def(m, where);
-      for (const MethodDef& m : cls.virtual_methods) check_method_def(m, where);
+      // Two definitions of the same method ref make invoke resolution
+      // ambiguous — the fuzzer's idempotence oracle hit this as a variant
+      // name collision on re-reveal (infinite self-recursion at runtime).
+      std::set<uint32_t> seen_methods;
+      for (const MethodDef& m : cls.direct_methods) {
+        check_method_def(m, where);
+        if (m.method_ref < file_.methods.size() &&
+            !seen_methods.insert(m.method_ref).second) {
+          fail(where + ": duplicate method definition " +
+               file_.pretty_method(m.method_ref));
+        }
+      }
+      for (const MethodDef& m : cls.virtual_methods) {
+        check_method_def(m, where);
+        if (m.method_ref < file_.methods.size() &&
+            !seen_methods.insert(m.method_ref).second) {
+          fail(where + ": duplicate method definition " +
+               file_.pretty_method(m.method_ref));
+        }
+      }
     }
   }
 

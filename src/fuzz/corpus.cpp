@@ -1,0 +1,132 @@
+#include "src/fuzz/corpus.h"
+
+#include <stdexcept>
+
+#include "src/benchsuite/droidbench.h"
+#include "src/packer/packer.h"
+
+namespace dexlego::fuzz {
+
+namespace {
+
+// Building the 134-sample suite is expensive; share one instance across every
+// resolve (const after construction, safe for concurrent readers).
+const suite::DroidBench& droidbench() {
+  static const suite::DroidBench bench = suite::build_droidbench();
+  return bench;
+}
+
+SeedInput from_sample(const std::string& key, const suite::Sample& sample) {
+  SeedInput seed;
+  seed.key = key;
+  seed.apk = sample.apk;
+  seed.configure_runtime = sample.configure_runtime;
+  seed.expect_leak = sample.leaky;
+  return seed;
+}
+
+SeedInput resolve_generated(const std::string& key, const std::string& args) {
+  size_t colon = args.find(':');
+  if (colon == std::string::npos) {
+    throw std::invalid_argument("bad generated seed key: " + key);
+  }
+  suite::AppSpec spec;
+  spec.seed = std::stoull(args.substr(0, colon));
+  spec.target_units = std::stoull(args.substr(colon + 1));
+  spec.name = "fuzz-" + args;
+  spec.package = "fuzz.g" + args.substr(0, colon);
+  spec.full_coverage_style = true;
+
+  SeedInput seed;
+  seed.key = key;
+  seed.has_spec = true;
+  seed.spec = spec;
+  suite::GeneratedApp app = suite::generate_app(spec);
+  seed.apk = std::move(app.apk);
+  seed.configure_runtime = std::move(app.configure_runtime);
+  return seed;
+}
+
+SeedInput resolve_packed(const std::string& key, const std::string& args) {
+  size_t slash = args.find('/');
+  if (slash == std::string::npos) {
+    throw std::invalid_argument("bad packed seed key: " + key);
+  }
+  std::string vendor = args.substr(0, slash);
+  std::string sample_name = args.substr(slash + 1);
+  const suite::Sample* sample = droidbench().find(sample_name);
+  if (sample == nullptr) {
+    throw std::invalid_argument("unknown droidbench sample in key: " + key);
+  }
+  const packer::PackerSpec* spec = nullptr;
+  static const std::vector<packer::PackerSpec> packers = packer::table1_packers();
+  for (const packer::PackerSpec& p : packers) {
+    if (p.vendor == vendor && p.available()) spec = &p;
+  }
+  if (spec == nullptr) {
+    throw std::invalid_argument("unknown or unavailable packer in key: " + key);
+  }
+  auto packed = packer::pack(sample->apk, *spec);
+  if (!packed.has_value()) {
+    throw std::invalid_argument("packer refused sample in key: " + key);
+  }
+  SeedInput seed;
+  seed.key = key;
+  seed.apk = std::move(*packed);
+  seed.expect_leak = sample->leaky;
+  auto sample_configure = sample->configure_runtime;
+  seed.configure_runtime = [sample_configure](rt::Runtime& rt) {
+    packer::register_packer_natives(rt);
+    if (sample_configure) sample_configure(rt);
+  };
+  return seed;
+}
+
+}  // namespace
+
+SeedInput resolve_seed(const std::string& key) {
+  size_t colon = key.find(':');
+  if (colon == std::string::npos) {
+    throw std::invalid_argument("bad seed key (no scheme): " + key);
+  }
+  std::string scheme = key.substr(0, colon);
+  std::string args = key.substr(colon + 1);
+  if (scheme == "droidbench") {
+    const suite::Sample* sample = droidbench().find(args);
+    if (sample == nullptr) {
+      throw std::invalid_argument("unknown droidbench sample: " + key);
+    }
+    return from_sample(key, *sample);
+  }
+  if (scheme == "generated") return resolve_generated(key, args);
+  if (scheme == "packed") return resolve_packed(key, args);
+  throw std::invalid_argument("unknown seed scheme: " + key);
+}
+
+std::vector<std::string> structural_seed_keys() {
+  // Byte diversity: a plain leaky sample, a benign one, a reflective one, a
+  // generated app and a packed shell (mutating the container around an
+  // encrypted payload).
+  return {
+      "droidbench:Straight1",  "droidbench:Clean1",
+      "droidbench:ObfReflect1", "generated:701:600",
+      "packed:360/Button1",
+  };
+}
+
+std::vector<std::string> bytecode_seed_keys() {
+  // Bytecode mutation needs a parseable primary image with real control flow.
+  return {
+      "droidbench:Straight1", "droidbench:Button1", "droidbench:Clean1",
+      "generated:701:600",    "generated:702:1400",
+  };
+}
+
+std::vector<std::string> behavioral_seed_keys() {
+  // Behavioral mutation perturbs the AppSpec, so every seed is generated.
+  return {
+      "generated:711:600", "generated:712:1000", "generated:713:1800",
+  };
+}
+
+}  // namespace dexlego::fuzz

@@ -1,0 +1,49 @@
+// Seed-input registry for the structure-aware differential fuzzer
+// (docs/FUZZING.md). A *seed input* is a deterministic base app the mutators
+// perturb: every seed is addressed by a string key and rebuilt on demand from
+// the repo's own deterministic builders (DroidBench-analog samples, generated
+// apps, packed samples), so replay files can name their base input with a few
+// bytes instead of shipping an APK. Key grammar:
+//
+//   "droidbench:<SampleName>"          one suite::build_droidbench sample
+//   "generated:<seed>:<units>"         suite::generate_app full-coverage app
+//   "packed:<vendor>/<SampleName>"     a Table I packer preset applied to a
+//                                      DroidBench sample
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/benchsuite/appgen.h"
+#include "src/dex/archive.h"
+#include "src/runtime/runtime.h"
+
+namespace dexlego::fuzz {
+
+// A resolved base input. `apk` and `configure_runtime` are exactly what a
+// pipeline::BatchJob would carry; `spec` is the generation recipe when the
+// seed came from the synthetic generator (the behavioral mutator family
+// needs it — it mutates the recipe, not the bytes).
+struct SeedInput {
+  std::string key;
+  dex::Apk apk;
+  std::function<void(rt::Runtime&)> configure_runtime;
+  bool expect_leak = false;
+  bool has_spec = false;  // true: `spec` regenerates this app
+  suite::AppSpec spec;
+};
+
+// Rebuilds the seed named by `key`. Deterministic: the same key always yields
+// a byte-identical APK. Throws std::invalid_argument on an unknown key.
+SeedInput resolve_seed(const std::string& key);
+
+// The canned seed pools the campaign draws from. Structural mutation wants
+// byte diversity (plain, packed, reflective inputs); bytecode mutation wants
+// parseable single-image apps; behavioral mutation wants generated apps
+// (it perturbs their AppSpec).
+std::vector<std::string> structural_seed_keys();
+std::vector<std::string> bytecode_seed_keys();
+std::vector<std::string> behavioral_seed_keys();
+
+}  // namespace dexlego::fuzz

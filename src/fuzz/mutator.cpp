@@ -1,0 +1,624 @@
+#include "src/fuzz/mutator.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/bytecode/insn.h"
+#include "src/bytecode/verify_code.h"
+#include "src/dex/io.h"
+#include "src/packer/packer.h"
+#include "src/support/bytes.h"
+#include "src/support/hash.h"
+
+namespace dexlego::fuzz {
+
+namespace {
+
+using bc::Op;
+
+// --- LDEX header geometry (src/dex/io.h layout) ----------------------------
+constexpr size_t kChecksumOffset = 8;   // u32 adler32 after the magic
+constexpr size_t kSizeOffset = 12;      // u32 file size
+constexpr size_t kCountsOffset = 16;    // six u32 pool counts
+constexpr size_t kCountFields = 6;
+
+void write_u32_le(std::vector<uint8_t>& bytes, size_t offset, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    bytes[offset + static_cast<size_t>(i)] =
+        static_cast<uint8_t>(value >> (8 * i));
+  }
+}
+
+// Recomputes the size field and adler32 so a mutated body reaches the deep
+// parser instead of dying at the checksum gate.
+void refix_header(std::vector<uint8_t>& bytes) {
+  if (bytes.size() < kCountsOffset) return;
+  write_u32_le(bytes, kSizeOffset, static_cast<uint32_t>(bytes.size()));
+  std::span<const uint8_t> body(bytes.data() + kCountsOffset,
+                                bytes.size() - kCountsOffset);
+  write_u32_le(bytes, kChecksumOffset, support::adler32(body));
+}
+
+// --- structural family -----------------------------------------------------
+
+uint32_t hostile_u32(support::Rng& rng, size_t file_size) {
+  switch (rng.below(7)) {
+    case 0: return 0xffffffffu;
+    case 1: return 0xfffffff0u;
+    case 2: return 0x7fffffffu;
+    case 3: return 0x00ffffffu;
+    case 4: return static_cast<uint32_t>(file_size);
+    case 5: return static_cast<uint32_t>(file_size) * 2 + 1;
+    default: return static_cast<uint32_t>(rng.below(65536));
+  }
+}
+
+std::vector<MutationOp> plan_structural(const SeedInput& seed, support::Rng& rng,
+                                        int max_ops) {
+  const std::vector<uint8_t>& bytes = seed.apk.classes();
+  size_t size = bytes.size();
+  if (size == 0) return {};
+  std::vector<MutationOp> ops;
+  uint64_t count = 1 + rng.below(static_cast<uint64_t>(std::max(1, max_ops)));
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t roll = rng.below(100);
+    MutationOp op;
+    if (roll < 30 && size >= kCountsOffset + kCountFields * 4) {
+      // Count bomb: a hostile pool/section count (the uleb128-oversize analog
+      // for this fixed-width format).
+      op.kind = kCorruptU32;
+      op.a = kCountsOffset + 4 * rng.below(kCountFields);
+      op.b = hostile_u32(rng, size);
+    } else if (roll < 50 && size >= 4) {
+      // Hostile value at an arbitrary offset: length prefixes, counts inside
+      // code items, pool indices.
+      op.kind = kCorruptU32;
+      op.a = rng.below(size - 3);
+      op.b = hostile_u32(rng, size);
+    } else if (roll < 70) {
+      op.kind = kByteFlip;
+      op.a = rng.below(size);
+      op.b = 1 + rng.below(255);
+    } else if (roll < 85) {
+      op.kind = kTruncate;
+      // Biased toward near-end cuts: deep sections get parsed first.
+      op.a = rng.chance(0.5) && size > 2
+                 ? size - 1 - rng.below(std::min<uint64_t>(size - 1, 64))
+                 : rng.below(size);
+    } else {
+      op.kind = kDuplicateRange;
+      op.a = rng.below(size);
+      op.b = 1 + rng.below(64);
+    }
+    ops.push_back(op);
+  }
+  if (rng.chance(0.7)) ops.push_back(MutationOp{kHeaderRefix, 0, 0, 0});
+  return ops;
+}
+
+Mutant apply_structural(const SeedInput& seed, std::span<const MutationOp> ops) {
+  std::vector<uint8_t> bytes = seed.apk.classes();
+  for (const MutationOp& op : ops) {
+    size_t size = bytes.size();
+    switch (op.kind) {
+      case kTruncate:
+        bytes.resize(std::min<size_t>(static_cast<size_t>(op.a), size));
+        break;
+      case kByteFlip:
+        if (size > 0) {
+          bytes[static_cast<size_t>(op.a) % size] ^=
+              static_cast<uint8_t>(op.b != 0 ? op.b : 1);
+        }
+        break;
+      case kCorruptU32:
+        if (size >= 4) {
+          write_u32_le(bytes, static_cast<size_t>(op.a) % (size - 3),
+                       static_cast<uint32_t>(op.b));
+        }
+        break;
+      case kDuplicateRange:
+        if (size > 0) {
+          size_t pos = static_cast<size_t>(op.a) % size;
+          size_t len = std::min<size_t>(static_cast<size_t>(op.b), size - pos);
+          std::vector<uint8_t> dup(bytes.begin() + static_cast<ptrdiff_t>(pos),
+                                   bytes.begin() +
+                                       static_cast<ptrdiff_t>(pos + len));
+          bytes.insert(bytes.begin() + static_cast<ptrdiff_t>(pos), dup.begin(),
+                       dup.end());
+        }
+        break;
+      case kHeaderRefix:
+        refix_header(bytes);
+        break;
+      default:
+        break;
+    }
+  }
+  Mutant mutant;
+  mutant.apk = seed.apk;
+  mutant.apk.set_classes(std::move(bytes));
+  mutant.configure_runtime = seed.configure_runtime;
+  mutant.expect_leak = seed.expect_leak;
+  mutant.rejection_ok = true;
+  return mutant;
+}
+
+// --- bytecode family -------------------------------------------------------
+
+// Format groups: members share width, operand shape and verifier contract,
+// so swapping inside a group is format-preserving by construction.
+std::span<const Op> swap_group(Op op) {
+  static constexpr Op kBinops[] = {Op::kAdd, Op::kSub, Op::kMul, Op::kDiv,
+                                   Op::kRem, Op::kAnd, Op::kOr,  Op::kXor,
+                                   Op::kShl, Op::kShr, Op::kCmp};
+  static constexpr Op kIf2[] = {Op::kIfEq, Op::kIfNe, Op::kIfLt,
+                                Op::kIfGe, Op::kIfGt, Op::kIfLe};
+  static constexpr Op kIfz[] = {Op::kIfEqz, Op::kIfNez, Op::kIfLtz,
+                                Op::kIfGez, Op::kIfGtz, Op::kIfLez};
+  static constexpr Op kLit8[] = {Op::kAddLit8, Op::kMulLit8};
+  static constexpr Op kUnops[] = {Op::kNeg, Op::kNot};
+  for (std::span<const Op> group :
+       {std::span<const Op>(kBinops), std::span<const Op>(kIf2),
+        std::span<const Op>(kIfz), std::span<const Op>(kLit8),
+        std::span<const Op>(kUnops)}) {
+    if (std::find(group.begin(), group.end(), op) != group.end()) return group;
+  }
+  return {};
+}
+
+// Register slots the rename op may touch, matching the operand shapes the
+// verifier checks (invokes and payloads are skipped).
+int rename_slots(Op op) {
+  switch (op) {
+    case Op::kAdd: case Op::kSub: case Op::kMul: case Op::kDiv:
+    case Op::kRem: case Op::kAnd: case Op::kOr: case Op::kXor:
+    case Op::kShl: case Op::kShr: case Op::kCmp:
+    case Op::kAget: case Op::kAput:
+      return 3;
+    case Op::kMove: case Op::kNeg: case Op::kNot: case Op::kArrayLength:
+    case Op::kNewArray: case Op::kInstanceOf: case Op::kIget: case Op::kIput:
+    case Op::kIfEq: case Op::kIfNe: case Op::kIfLt:
+    case Op::kIfGe: case Op::kIfGt: case Op::kIfLe:
+    case Op::kAddLit8: case Op::kMulLit8:
+      return 2;
+    case Op::kConst16: case Op::kConst32: case Op::kConstWide:
+    case Op::kConstString: case Op::kConstNull: case Op::kMoveResult:
+    case Op::kMoveException: case Op::kReturn: case Op::kThrow:
+    case Op::kIfEqz: case Op::kIfNez: case Op::kIfLtz:
+    case Op::kIfGez: case Op::kIfGtz: case Op::kIfLez:
+    case Op::kSget: case Op::kSput: case Op::kNewInstance:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+// Code-bearing methods of a file in definition order; the mutation ops
+// address them by this ordinal.
+std::vector<dex::CodeItem*> code_methods(dex::DexFile& file) {
+  std::vector<dex::CodeItem*> methods;
+  for (dex::ClassDef& cls : file.classes) {
+    for (auto* list : {&cls.direct_methods, &cls.virtual_methods}) {
+      for (dex::MethodDef& method : *list) {
+        if (method.code.has_value()) methods.push_back(&*method.code);
+      }
+    }
+  }
+  return methods;
+}
+
+// Instruction starts (payload starts split out). false on undecodable code.
+bool collect_starts(const dex::CodeItem& code, std::vector<size_t>& starts,
+                    std::vector<size_t>& payloads) {
+  std::span<const uint16_t> insns(code.insns);
+  size_t pc = 0;
+  while (pc < insns.size()) {
+    size_t width;
+    try {
+      width = bc::width_at(insns, pc);
+    } catch (const support::ParseError&) {
+      return false;
+    }
+    if (width == 0 || pc + width > insns.size()) return false;
+    if (static_cast<Op>(insns[pc] & 0xff) == Op::kPayload) {
+      payloads.push_back(pc);
+    } else {
+      starts.push_back(pc);
+    }
+    pc += width;
+  }
+  return !starts.empty();
+}
+
+bool is_start(const std::vector<size_t>& starts, size_t pc) {
+  return std::binary_search(starts.begin(), starts.end(), pc);
+}
+
+// Applies one bytecode op in place. Returns false when the op no longer fits
+// the current state (minimization subsets must stay applicable).
+bool apply_bytecode_op(dex::DexFile& file, const MutationOp& op) {
+  std::vector<dex::CodeItem*> methods = code_methods(file);
+  if (op.a >= methods.size()) return false;
+  dex::CodeItem& code = *methods[static_cast<size_t>(op.a)];
+  std::vector<size_t> starts, payloads;
+  if (!collect_starts(code, starts, payloads)) return false;
+  size_t pc = static_cast<size_t>(op.b);
+  if (!is_start(starts, pc)) return false;
+  std::span<const uint16_t> insns(code.insns);
+
+  bc::Insn insn;
+  try {
+    insn = bc::decode_at(insns, pc);
+  } catch (const support::ParseError&) {
+    return false;
+  }
+
+  switch (op.kind) {
+    case kOpcodeSwap: {
+      std::span<const Op> group = swap_group(insn.op);
+      Op replacement = static_cast<Op>(op.c & 0xff);
+      if (group.empty() || replacement == insn.op ||
+          std::find(group.begin(), group.end(), replacement) == group.end()) {
+        return false;
+      }
+      code.insns[pc] = static_cast<uint16_t>(
+          (code.insns[pc] & 0xff00) | static_cast<uint16_t>(replacement));
+      return true;
+    }
+    case kRegisterRename: {
+      int slots = rename_slots(insn.op);
+      int slot = static_cast<int>((op.c >> 8) & 0xff);
+      if (slots == 0 || slot >= slots || code.registers_size == 0) return false;
+      uint8_t reg = static_cast<uint8_t>((op.c & 0xff) % code.registers_size);
+      if (slot == 0) insn.a = reg;
+      if (slot == 1) insn.b = reg;
+      if (slot == 2) insn.c = reg;
+      std::vector<uint16_t> encoded = bc::encode(insn);
+      if (encoded.size() != insn.width) return false;
+      std::copy(encoded.begin(), encoded.end(),
+                code.insns.begin() + static_cast<ptrdiff_t>(pc));
+      return true;
+    }
+    case kBranchRetarget: {
+      if (insn.op != Op::kGoto && !bc::is_conditional_branch(insn.op)) {
+        return false;
+      }
+      size_t target = static_cast<size_t>(op.c);
+      if (!is_start(starts, target) || target == pc) return false;
+      ptrdiff_t off = static_cast<ptrdiff_t>(target) -
+                      static_cast<ptrdiff_t>(pc);
+      if (off < -32768 || off > 32767) return false;
+      insn.off = static_cast<int32_t>(off);
+      std::vector<uint16_t> encoded = bc::encode(insn);
+      if (encoded.size() != insn.width) return false;
+      std::copy(encoded.begin(), encoded.end(),
+                code.insns.begin() + static_cast<ptrdiff_t>(pc));
+      return true;
+    }
+    case kGotoLoop: {
+      if (insn.width < 2) return false;
+      size_t target = static_cast<size_t>(op.c);
+      if (!is_start(starts, target) || target > pc) return false;
+      ptrdiff_t off = static_cast<ptrdiff_t>(target) -
+                      static_cast<ptrdiff_t>(pc);
+      if (off < -32768) return false;
+      code.insns[pc] = static_cast<uint16_t>(Op::kGoto);
+      code.insns[pc + 1] =
+          static_cast<uint16_t>(static_cast<int16_t>(off));
+      for (size_t k = 2; k < insn.width; ++k) {
+        code.insns[pc + k] = static_cast<uint16_t>(Op::kNop);
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+std::vector<MutationOp> plan_bytecode(const SeedInput& seed, support::Rng& rng,
+                                      int max_ops) {
+  dex::DexFile scratch;
+  try {
+    scratch = dex::read_dex(seed.apk.classes());
+  } catch (const support::ParseError&) {
+    return {};  // packed shells etc. — nothing to mutate at this level
+  }
+  std::vector<dex::CodeItem*> methods = code_methods(scratch);
+  if (methods.empty()) return {};
+
+  std::vector<MutationOp> ops;
+  uint64_t want = 1 + rng.below(static_cast<uint64_t>(std::max(1, max_ops)));
+  int attempts = max_ops * 12;
+  while (attempts-- > 0 && ops.size() < want) {
+    size_t ordinal = rng.below(methods.size());
+    dex::CodeItem& code = *methods[ordinal];
+    std::vector<size_t> starts, payloads;
+    if (!collect_starts(code, starts, payloads)) continue;
+    size_t pc = starts[rng.below(starts.size())];
+    bc::Insn insn;
+    try {
+      insn = bc::decode_at(std::span<const uint16_t>(code.insns), pc);
+    } catch (const support::ParseError&) {
+      continue;
+    }
+
+    MutationOp op;
+    op.a = ordinal;
+    op.b = pc;
+    switch (rng.below(4)) {
+      case 0: {
+        std::span<const Op> group = swap_group(insn.op);
+        if (group.size() < 2) continue;
+        Op replacement = group[rng.below(group.size())];
+        if (replacement == insn.op) continue;
+        op.kind = kOpcodeSwap;
+        op.c = static_cast<uint64_t>(replacement);
+        break;
+      }
+      case 1: {
+        int slots = rename_slots(insn.op);
+        if (slots == 0 || code.registers_size == 0) continue;
+        op.kind = kRegisterRename;
+        // Two sequenced draws: | has unsequenced operands, and both calls
+        // advance the shared RNG — one expression would make the plan
+        // depend on compiler evaluation order.
+        uint64_t slot = rng.below(static_cast<uint64_t>(slots));
+        uint64_t reg = rng.below(code.registers_size);
+        op.c = (slot << 8) | reg;
+        break;
+      }
+      case 2: {
+        if (insn.op != Op::kGoto && !bc::is_conditional_branch(insn.op)) {
+          continue;
+        }
+        op.kind = kBranchRetarget;
+        op.c = starts[rng.below(starts.size())];
+        break;
+      }
+      default: {
+        if (insn.width < 2) continue;
+        // Backward target (possibly pc itself): a real loop.
+        std::vector<size_t> backward;
+        for (size_t s : starts) {
+          if (s <= pc) backward.push_back(s);
+        }
+        if (backward.empty()) continue;
+        op.kind = kGotoLoop;
+        op.c = backward[rng.below(backward.size())];
+        break;
+      }
+    }
+
+    // Pre-filter: the op must keep the method verifier-clean, or it never
+    // enters the plan (the paper-facing contract of this family).
+    dex::CodeItem backup = code;
+    if (!apply_bytecode_op(scratch, op)) continue;
+    if (bc::verify_code(scratch, code, "fuzz-plan").ok()) {
+      ops.push_back(op);
+    } else {
+      code = std::move(backup);
+    }
+  }
+  return ops;
+}
+
+Mutant apply_bytecode(const SeedInput& seed, std::span<const MutationOp> ops) {
+  Mutant mutant;
+  mutant.apk = seed.apk;
+  mutant.configure_runtime = seed.configure_runtime;
+  mutant.expect_leak = seed.expect_leak;
+  try {
+    dex::DexFile file = dex::read_dex(seed.apk.classes());
+    for (const MutationOp& op : ops) apply_bytecode_op(file, op);
+    mutant.apk.set_classes(dex::write_dex(file));
+  } catch (const support::ParseError&) {
+    // Unmutatable seed: hand back the unmodified app.
+  }
+  return mutant;
+}
+
+// --- behavioral family -----------------------------------------------------
+
+std::vector<packer::PackerSpec> available_packers() {
+  std::vector<packer::PackerSpec> specs;
+  for (const packer::PackerSpec& spec : packer::table1_packers()) {
+    if (spec.available()) specs.push_back(spec);
+  }
+  return specs;
+}
+
+std::vector<MutationOp> plan_behavioral(const SeedInput& seed,
+                                        support::Rng& rng, int max_ops) {
+  if (!seed.has_spec) return {};
+  std::vector<MutationOp> spec_ops;
+  std::vector<MutationOp> pack_ops;
+  size_t packers = available_packers().size();
+  bool used[6] = {false, false, false, false, false, false};
+  uint64_t want = 1 + rng.below(static_cast<uint64_t>(std::max(1, max_ops)));
+  int attempts = max_ops * 8;
+  while (attempts-- > 0 && spec_ops.size() + pack_ops.size() < want) {
+    uint16_t kind = static_cast<uint16_t>(rng.below(6));
+    if (kind != kNestedPack && used[kind]) continue;
+    MutationOp op;
+    op.kind = kind;
+    switch (kind) {
+      case kGuardStack: op.a = 1 + rng.below(4); break;
+      case kReflectionMaze:
+        op.a = 1 + rng.below(5);
+        op.b = 1 + rng.below(126);
+        break;
+      case kSelfModWrite: break;
+      case kLeakFlows: op.a = 1 + rng.below(3); break;
+      case kGrowApp: op.a = 200 + rng.below(1800); break;
+      case kNestedPack: {
+        if (packers == 0 || pack_ops.size() >= 2) continue;
+        op.a = rng.below(packers);
+        // Distinct vendors per nesting level: same-vendor shells collide on
+        // their encrypted-asset entry names.
+        bool dup = false;
+        for (const MutationOp& prev : pack_ops) dup |= prev.a == op.a;
+        if (dup) continue;
+        break;
+      }
+      default: continue;
+    }
+    used[kind] = true;
+    if (kind == kNestedPack) {
+      pack_ops.push_back(op);
+    } else {
+      spec_ops.push_back(op);
+    }
+  }
+  // Recipe knobs first, packing last — subsets preserve relative order, so
+  // minimized plans still pack a fully built app.
+  spec_ops.insert(spec_ops.end(), pack_ops.begin(), pack_ops.end());
+  return spec_ops;
+}
+
+Mutant apply_behavioral(const SeedInput& seed, std::span<const MutationOp> ops) {
+  suite::AppSpec spec = seed.spec;
+  std::vector<size_t> pack_choices;
+  for (const MutationOp& op : ops) {
+    switch (op.kind) {
+      case kGuardStack:
+        spec.guard_stack = static_cast<int>(op.a);
+        break;
+      case kReflectionMaze:
+        spec.reflection_maze = static_cast<int>(op.a);
+        spec.reflection_key = static_cast<int>(op.b);
+        break;
+      case kSelfModWrite:
+        spec.self_modifying = true;
+        break;
+      case kLeakFlows:
+        spec.leak_flows = static_cast<int>(op.a);
+        break;
+      case kGrowApp:
+        spec.target_units += static_cast<size_t>(op.a);
+        break;
+      case kNestedPack:
+        pack_choices.push_back(static_cast<size_t>(op.a));
+        break;
+      default:
+        break;
+    }
+  }
+
+  suite::GeneratedApp app = suite::generate_app(spec);
+  Mutant mutant;
+  mutant.apk = std::move(app.apk);
+  mutant.configure_runtime = app.configure_runtime;
+  mutant.expect_leak = spec.leak_flows > 0;
+  mutant.replay_safe = !spec.self_modifying;
+
+  std::vector<packer::PackerSpec> packers = available_packers();
+  bool packed_any = false;
+  for (size_t choice : pack_choices) {
+    if (packers.empty()) break;
+    const packer::PackerSpec& vendor = packers[choice % packers.size()];
+    std::optional<dex::Apk> packed = packer::pack(mutant.apk, vendor);
+    if (!packed.has_value()) continue;
+    mutant.apk = std::move(*packed);
+    packed_any = true;
+    // A self-modifying stub (Bangcle) tampers with its own bytecode at
+    // layout-dependent pcs, so the revealed APK cannot replay — the same
+    // exclusion the differential suite applies to the DroidBench self-mod
+    // samples. Found by this fuzzer: tests/data/fuzz/ pins the case.
+    if (vendor.self_modifying_stub) mutant.replay_safe = false;
+  }
+  if (packed_any) {
+    auto inner = mutant.configure_runtime;
+    mutant.configure_runtime = [inner](rt::Runtime& rt) {
+      packer::register_packer_natives(rt);
+      if (inner) inner(rt);
+    };
+  }
+  return mutant;
+}
+
+}  // namespace
+
+std::string_view family_name(Family family) {
+  switch (family) {
+    case Family::kStructural: return "structural";
+    case Family::kBytecode: return "bytecode";
+    case Family::kBehavioral: return "behavioral";
+  }
+  return "unknown";
+}
+
+std::optional<Family> family_from_name(std::string_view name) {
+  if (name == "structural") return Family::kStructural;
+  if (name == "bytecode") return Family::kBytecode;
+  if (name == "behavioral") return Family::kBehavioral;
+  return std::nullopt;
+}
+
+std::string MutationOp::describe(Family family) const {
+  std::ostringstream os;
+  switch (family) {
+    case Family::kStructural:
+      switch (kind) {
+        case kTruncate: os << "truncate to " << a; break;
+        case kByteFlip: os << "flip byte @" << a << " ^ " << b; break;
+        case kCorruptU32: os << "u32 @" << a << " := " << b; break;
+        case kDuplicateRange: os << "dup [" << a << ", +" << b << ")"; break;
+        case kHeaderRefix: os << "refix header"; break;
+        default: os << "structural#" << kind; break;
+      }
+      break;
+    case Family::kBytecode:
+      switch (kind) {
+        case kOpcodeSwap:
+          os << "m" << a << "@" << b << " op := "
+             << bc::op_info(static_cast<Op>(c & 0xff)).name;
+          break;
+        case kRegisterRename:
+          os << "m" << a << "@" << b << " reg slot " << ((c >> 8) & 0xff)
+             << " := v" << (c & 0xff);
+          break;
+        case kBranchRetarget: os << "m" << a << "@" << b << " -> " << c; break;
+        case kGotoLoop: os << "m" << a << "@" << b << " goto-loop " << c; break;
+        default: os << "bytecode#" << kind; break;
+      }
+      break;
+    case Family::kBehavioral:
+      switch (kind) {
+        case kGuardStack: os << "guard-stack x" << a; break;
+        case kReflectionMaze: os << "reflection-maze depth " << a; break;
+        case kSelfModWrite: os << "self-modifying write"; break;
+        case kLeakFlows: os << "leak flows x" << a; break;
+        case kGrowApp: os << "grow +" << a << " units"; break;
+        case kNestedPack: os << "pack vendor#" << a; break;
+        default: os << "behavioral#" << kind; break;
+      }
+      break;
+  }
+  return os.str();
+}
+
+std::vector<MutationOp> plan_ops(Family family, const SeedInput& seed,
+                                 uint64_t rng_seed, int max_ops) {
+  // Family tag folded in so the same numeric seed yields independent streams
+  // per family.
+  support::Rng rng(rng_seed ^ (0x9e3779b97f4a7c15ull *
+                               (static_cast<uint64_t>(family) + 1)));
+  switch (family) {
+    case Family::kStructural: return plan_structural(seed, rng, max_ops);
+    case Family::kBytecode: return plan_bytecode(seed, rng, max_ops);
+    case Family::kBehavioral: return plan_behavioral(seed, rng, max_ops);
+  }
+  return {};
+}
+
+Mutant apply_ops(Family family, const SeedInput& seed,
+                 std::span<const MutationOp> ops) {
+  switch (family) {
+    case Family::kStructural: return apply_structural(seed, ops);
+    case Family::kBytecode: return apply_bytecode(seed, ops);
+    case Family::kBehavioral: return apply_behavioral(seed, ops);
+  }
+  return {};
+}
+
+}  // namespace dexlego::fuzz

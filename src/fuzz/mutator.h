@@ -1,0 +1,112 @@
+// Structure-aware mutators for the differential fuzzer (docs/FUZZING.md).
+// Three families, each evolving *apps* (unlike src/coverage/fuzzer.h, the
+// Sapienz analog, which evolves UI event sequences against one fixed app):
+//
+//   kStructural — byte-level mutations of the LDEX container (truncation,
+//     hostile counts/length prefixes, duplicated ranges, header refix so
+//     mutants penetrate past the checksum) exercising dex::io / dex::archive
+//     / verifier hardening. Mutants are usually invalid; the oracle accepts
+//     clean rejection (ParseError / verify failure) and flags anything else.
+//
+//   kBytecode — instruction-level mutations of a parsed DexFile (opcode swaps
+//     within a format group, register renames, branch retargeting, goto-loop
+//     insertion), pre-filtered through bc::verify_code so every shipped
+//     mutant is verifier-clean and must round-trip the collect→reassemble
+//     oracle behaviourally.
+//
+//   kBehavioral — recipe-level mutations over suite::AppSpec (guard stacking,
+//     reflection mazes, self-modifying writes, leak flows, nested packing)
+//     producing hostile-but-valid apps.
+//
+// A mutation plan is a sequence of *parameter-baked* MutationOps: applying
+// any subsequence is deterministic and well-defined, which is what the
+// delta-debugging minimizer (src/fuzz/triage.h) and the replay format
+// (src/fuzz/replay.h) rely on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/fuzz/corpus.h"
+#include "src/support/rng.h"
+
+namespace dexlego::fuzz {
+
+enum class Family : uint8_t {
+  kStructural = 0,
+  kBytecode = 1,
+  kBehavioral = 2,
+};
+
+std::string_view family_name(Family family);
+std::optional<Family> family_from_name(std::string_view name);
+
+// Per-family op kinds. Values are serialized in replay files — append only.
+enum StructuralKind : uint16_t {
+  kTruncate = 0,       // a = new length (clamped)
+  kByteFlip = 1,       // a = position, b = xor mask
+  kCorruptU32 = 2,     // a = offset, b = little-endian value to write
+  kDuplicateRange = 3, // a = position, b = length to duplicate in place
+  kHeaderRefix = 4,    // recompute LDEX size + adler32 so parsing goes deep
+};
+
+enum BytecodeKind : uint16_t {
+  kOpcodeSwap = 0,     // a = method ordinal, b = pc, c = replacement raw op
+  kRegisterRename = 1, // a = method ordinal, b = pc, c = slot<<8 | new reg
+  kBranchRetarget = 2, // a = method ordinal, b = pc, c = new target pc
+  kGotoLoop = 3,       // a = method ordinal, b = pc, c = backward target pc
+};
+
+enum BehavioralKind : uint16_t {
+  kGuardStack = 0,     // a = opaque guard depth stacked in front of entries
+  kReflectionMaze = 1, // a = dispatch chain depth, b = xor key
+  kSelfModWrite = 2,   // tamper native swaps a benign call to a covert one
+  kLeakFlows = 3,      // a = number of taint flows to hide
+  kGrowApp = 4,        // a = extra code units on the generation budget
+  kNestedPack = 5,     // a = index into the available Table I packer presets
+};
+
+// One atomic mutation with all parameters baked in.
+struct MutationOp {
+  uint16_t kind = 0;
+  uint64_t a = 0;
+  uint64_t b = 0;
+  uint64_t c = 0;
+
+  bool operator==(const MutationOp&) const = default;
+  std::string describe(Family family) const;
+};
+
+// A candidate app produced by applying a plan to a seed.
+struct Mutant {
+  dex::Apk apk;
+  std::function<void(rt::Runtime&)> configure_runtime;
+  bool expect_leak = false;
+  // Structural mutants may legitimately fail to parse; the oracle treats
+  // rejection as a pass for them and as a divergence for the other families.
+  bool rejection_ok = false;
+  // Self-modifying behavioral mutants cannot replay the revealed APK under
+  // layout-dependent tampering (same exclusion as the DroidBench self-mod
+  // samples); the oracle downgrades to reveal/verify checks for them.
+  bool replay_safe = true;
+};
+
+// Plans up to `max_ops` mutations of `family` against `seed`, deterministic
+// in (seed.key, rng_seed). Bytecode plans verify every op against
+// bc::verify_code on a scratch copy and only emit passing ops; an empty plan
+// means the family cannot mutate this seed (e.g. unparseable classes entry).
+std::vector<MutationOp> plan_ops(Family family, const SeedInput& seed,
+                                 uint64_t rng_seed, int max_ops);
+
+// Applies a plan (or any subsequence of one) to a seed. Never throws for
+// in-domain ops: parameters that no longer fit the current intermediate
+// state are clamped or skipped, so minimization subsets stay applicable.
+Mutant apply_ops(Family family, const SeedInput& seed,
+                 std::span<const MutationOp> ops);
+
+}  // namespace dexlego::fuzz

@@ -1,0 +1,122 @@
+#include "src/fuzz/replay.h"
+
+#include <cstring>
+
+#include "src/support/bytes.h"
+#include "src/support/hash.h"
+
+namespace dexlego::fuzz {
+
+using support::ByteReader;
+using support::ByteWriter;
+using support::ParseError;
+
+std::vector<uint8_t> serialize(const ReplayFile& file) {
+  ByteWriter w;
+  w.raw(kReplayMagic, sizeof(kReplayMagic));
+  w.u32(kReplayVersion);
+  w.u8(static_cast<uint8_t>(file.family));
+  w.str(file.seed_key);
+  w.u64(file.iter);
+  w.u64(file.campaign_seed);
+  w.u64(file.expected_fingerprint);
+  w.u8(static_cast<uint8_t>(file.expected_outcome));
+  w.str(file.note);
+  w.u32(static_cast<uint32_t>(file.ops.size()));
+  for (const MutationOp& op : file.ops) {
+    w.u16(op.kind);
+    w.u64(op.a);
+    w.u64(op.b);
+    w.u64(op.c);
+  }
+  w.u32(support::adler32(w.data()));
+  return w.take();
+}
+
+ReplayFile deserialize(std::span<const uint8_t> data) {
+  if (data.size() < sizeof(kReplayMagic) + 4) {
+    throw ParseError("replay file too short");
+  }
+  // Trailing checksum covers everything before it.
+  ByteReader tail(data);
+  tail.seek(data.size() - 4);
+  if (tail.u32() != support::adler32(data.subspan(0, data.size() - 4))) {
+    throw ParseError("replay checksum mismatch");
+  }
+
+  ByteReader r(data.subspan(0, data.size() - 4));
+  auto magic = r.bytes(sizeof(kReplayMagic));
+  if (std::memcmp(magic.data(), kReplayMagic, sizeof(kReplayMagic)) != 0) {
+    throw ParseError("bad replay magic");
+  }
+  if (r.u32() != kReplayVersion) throw ParseError("unknown replay version");
+
+  ReplayFile file;
+  uint8_t family = r.u8();
+  if (family > static_cast<uint8_t>(Family::kBehavioral)) {
+    throw ParseError("bad replay family");
+  }
+  file.family = static_cast<Family>(family);
+  file.seed_key = r.str();
+  file.iter = r.u64();
+  file.campaign_seed = r.u64();
+  file.expected_fingerprint = r.u64();
+  uint8_t outcome = r.u8();
+  if (outcome > static_cast<uint8_t>(Outcome::kCrash)) {
+    throw ParseError("bad replay outcome");
+  }
+  file.expected_outcome = static_cast<Outcome>(outcome);
+  file.note = r.str();
+  uint32_t count = r.u32();
+  // 26 bytes per op: a hostile count cannot force a huge reserve.
+  if (count > r.remaining() / 26) throw ParseError("replay op count too large");
+  file.ops.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    MutationOp op;
+    op.kind = r.u16();
+    op.a = r.u64();
+    op.b = r.u64();
+    op.c = r.u64();
+    file.ops.push_back(op);
+  }
+  if (!r.at_end()) throw ParseError("trailing bytes in replay file");
+  return file;
+}
+
+std::optional<ReplayFile> try_deserialize(std::span<const uint8_t> data) {
+  try {
+    return deserialize(data);
+  } catch (const ParseError&) {
+    return std::nullopt;
+  }
+}
+
+ReplayResult replay(const ReplayFile& file, const OracleOptions& options) {
+  SeedInput seed = resolve_seed(file.seed_key);
+  ReplayResult result;
+  result.report = run_oracle(apply_ops(file.family, seed, file.ops), options);
+  if (file.expected_fingerprint != 0) {
+    result.matches_expectation =
+        result.report.fingerprint == file.expected_fingerprint;
+  } else {
+    result.matches_expectation =
+        result.report.outcome == Outcome::kEquivalent ||
+        result.report.outcome == Outcome::kRejected;
+  }
+  return result;
+}
+
+ReplayFile from_finding(const Finding& finding, uint64_t campaign_seed) {
+  ReplayFile file;
+  file.family = finding.family;
+  file.seed_key = finding.seed_key;
+  file.iter = finding.iter;
+  file.campaign_seed = campaign_seed;
+  file.expected_fingerprint = finding.fingerprint;
+  file.expected_outcome = finding.outcome;
+  file.note = finding.detail;
+  file.ops = finding.ops;
+  return file;
+}
+
+}  // namespace dexlego::fuzz

@@ -1,8 +1,12 @@
 #include "src/pipeline/scenarios.h"
 
+#include <map>
+
 #include "src/benchsuite/appgen.h"
 #include "src/benchsuite/droidbench.h"
+#include "src/fuzz/mutator.h"
 #include "src/packer/packer.h"
+#include "src/support/rng.h"
 #include "src/unpackers/unpackers.h"
 
 namespace dexlego::pipeline {
@@ -135,6 +139,52 @@ std::vector<BatchJob> unpacker_baseline_jobs() {
   return jobs;
 }
 
+std::vector<BatchJob> fuzz_jobs(size_t count, uint64_t seed0) {
+  std::vector<BatchJob> jobs;
+  jobs.reserve(count);
+  std::vector<std::string> behavioral = fuzz::behavioral_seed_keys();
+  std::vector<std::string> bytecode = fuzz::bytecode_seed_keys();
+  // Resolving a seed rebuilds its base app from scratch; the pools are a
+  // handful of keys, so cache like run_campaign's up-front seed map does.
+  std::map<std::string, fuzz::SeedInput> seeds;
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t rng_seed = seed0 + i;
+    // Alternate families; both pre-filter to hostile-but-*valid* apps, so
+    // every job is expected to collect, reassemble and verify.
+    fuzz::Family family =
+        i % 2 == 0 ? fuzz::Family::kBehavioral : fuzz::Family::kBytecode;
+    const std::vector<std::string>& pool =
+        family == fuzz::Family::kBehavioral ? behavioral : bytecode;
+    support::Rng rng(rng_seed);
+    const std::string& key = pool[rng.below(pool.size())];
+    auto it = seeds.find(key);
+    if (it == seeds.end()) {
+      it = seeds.emplace(key, fuzz::resolve_seed(key)).first;
+    }
+    const fuzz::SeedInput& seed = it->second;
+    std::vector<fuzz::MutationOp> ops =
+        fuzz::plan_ops(family, seed, rng.next(), 4);
+    fuzz::Mutant mutant = fuzz::apply_ops(family, seed, ops);
+
+    BatchJob job;
+    job.name = std::string(fuzz::family_name(family)) + "-s" +
+               std::to_string(rng_seed);
+    job.scenario = "fuzz";
+    // Hostile apps routinely loop forever (goto-loop mutants); bound each
+    // collection run like the fuzz oracle does instead of burning the
+    // pipeline-default 200M-step budget per phase.
+    job.reveal.runtime.step_limit = 400'000;
+    job.apk = std::move(mutant.apk);
+    job.configure_runtime = std::move(mutant.configure_runtime);
+    // Ground truth only survives for behavioral mutants (the recipe *sets*
+    // leak_flows); a bytecode mutation may sever the seed's leaking path.
+    job.expect_leak =
+        family == fuzz::Family::kBehavioral && mutant.expect_leak;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
 std::vector<BatchJob> replicate_jobs(const std::vector<BatchJob>& jobs,
                                      int repeat) {
   std::vector<BatchJob> replicated;
@@ -168,6 +218,8 @@ std::vector<BatchJob> all_jobs() {
   more = packed_jobs();
   for (BatchJob& job : more) jobs.push_back(std::move(job));
   more = unpacker_baseline_jobs();
+  for (BatchJob& job : more) jobs.push_back(std::move(job));
+  more = fuzz_jobs(6);
   for (BatchJob& job : more) jobs.push_back(std::move(job));
   return jobs;
 }

@@ -42,6 +42,13 @@ std::vector<BatchJob> packed_jobs();
 // just another input scenario.
 std::vector<BatchJob> unpacker_baseline_jobs();
 
+// `count` hostile-but-valid apps from the fuzzer's mutator families
+// (docs/FUZZING.md): behavioral mutants (guard stacking, reflection mazes,
+// self-modifying writes, nested packing) plus verifier-clean bytecode
+// mutants, seeded from seed0 so the population is deterministic. The
+// adversarial counterpart of generated_jobs.
+std::vector<BatchJob> fuzz_jobs(size_t count, uint64_t seed0 = 901);
+
 // Concatenation of every builder above.
 std::vector<BatchJob> all_jobs();
 

@@ -6,6 +6,7 @@
 #include "src/dex/io.h"
 #include "src/dex/verify.h"
 #include "src/support/bytes.h"
+#include "src/support/hash.h"
 
 namespace dexlego::dex {
 namespace {
@@ -215,6 +216,103 @@ TEST(Apk, RemoveAndListEntries) {
   EXPECT_EQ(apk.entry_names().size(), 2u);
   apk.remove_entry("a");
   EXPECT_EQ(apk.entry_names(), std::vector<std::string>{"b"});
+}
+
+// --- fuzzer-found hardening regressions ------------------------------------
+// Each case pins a parser fix surfaced by the structural mutator family
+// (src/fuzz/mutator.cpp); the replay files under tests/data/fuzz/ carry the
+// full provenance. Pre-fix these died in vector::reserve (bad_alloc) or
+// reference chasing (out_of_range) instead of a clean ParseError.
+
+void put_u32(std::vector<uint8_t>& bytes, size_t offset, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    bytes[offset + static_cast<size_t>(i)] =
+        static_cast<uint8_t>(value >> (8 * i));
+  }
+}
+
+// Rewrites one header field, then refixes the size and adler32 so parsing
+// reaches the deep reader (the fuzz::kHeaderRefix trick).
+std::vector<uint8_t> with_hostile_u32(std::vector<uint8_t> bytes, size_t offset,
+                                      uint32_t value) {
+  put_u32(bytes, offset, value);
+  put_u32(bytes, 12, static_cast<uint32_t>(bytes.size()));
+  put_u32(bytes, 8,
+          support::adler32(std::span<const uint8_t>(bytes).subspan(16)));
+  return bytes;
+}
+
+TEST(DexIoHardening, PoolCountBombsAreCleanlyRejected) {
+  std::vector<uint8_t> bytes = write_dex(make_sample_file());
+  // The six pool counts live at offset 16 (strings, types, protos, fields,
+  // methods, classes). A count promising more elements than the remaining
+  // bytes could encode must be a ParseError, not a giant reserve.
+  for (size_t field = 0; field < 6; ++field) {
+    for (uint32_t bomb : {0xffffffffu, 0x7fffffffu, 0x00ffffffu}) {
+      EXPECT_THROW(read_dex(with_hostile_u32(bytes, 16 + 4 * field, bomb)),
+                   support::ParseError)
+          << "count field " << field << " bomb " << bomb;
+    }
+  }
+}
+
+TEST(DexIoHardening, ArbitraryCountCorruptionNeverCrashes) {
+  // Sweep a hostile u32 across every aligned offset: any outcome other than
+  // success or a clean ParseError (bad_alloc, out_of_range, UB) fails.
+  std::vector<uint8_t> bytes = write_dex(make_sample_file());
+  for (size_t offset = 16; offset + 4 <= bytes.size(); offset += 4) {
+    try {
+      read_dex(with_hostile_u32(bytes, offset, 0xfffffff0u));
+    } catch (const support::ParseError&) {
+      // clean rejection
+    }
+  }
+}
+
+TEST(ApkHardening, EntryCountBombIsCleanlyRejected) {
+  Apk apk;
+  apk.set_entry(Apk::kClassesEntry, {1, 2, 3});
+  std::vector<uint8_t> bytes = apk.write();
+  put_u32(bytes, 4, 0xffffffffu);  // entry count, right after the magic
+  EXPECT_THROW(Apk::read(bytes), support::ParseError);
+}
+
+TEST(DexVerifyHardening, BrokenPoolsReportInsteadOfThrowing) {
+  // A type whose *string* index is out of bounds used to make the class
+  // checks throw out_of_range while rendering diagnostics; now the pool
+  // errors are reported alone and the class pass is skipped.
+  DexFile f = make_sample_file();
+  ASSERT_FALSE(f.classes.empty());
+  f.types[f.classes[0].type_idx] = 0xdeadbeef;
+  VerifyResult vr;
+  EXPECT_NO_THROW(vr = verify_structure(f));
+  EXPECT_FALSE(vr.ok());
+}
+
+TEST(DexVerifyHardening, DuplicateClassDefinitionIsAnError) {
+  DexFile f = make_sample_file();
+  f.classes.push_back(f.classes[0]);
+  VerifyResult vr = verify_structure(f);
+  ASSERT_FALSE(vr.ok());
+  EXPECT_NE(vr.message().find("duplicate class definition"), std::string::npos);
+}
+
+TEST(DexVerifyHardening, DuplicateMethodDefinitionIsAnError) {
+  // The fuzzer's idempotence oracle hit this as a reassembler variant-name
+  // collision: two definitions of one method ref resolved ambiguously and
+  // recursed at runtime. The verifier now rejects the shape outright.
+  DexBuilder b;
+  b.start_class("Lcom/test/Dup;");
+  CodeItem code;
+  code.registers_size = 1;
+  code.insns = {0x0009};  // return-void
+  b.add_virtual_method("m", "V", {}, code);
+  b.add_virtual_method("m", "V", {}, code);
+  DexFile f = std::move(b).build();
+  VerifyResult vr = verify_structure(f);
+  ASSERT_FALSE(vr.ok());
+  EXPECT_NE(vr.message().find("duplicate method definition"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -4,10 +4,15 @@
 // asserts identical observable behaviour plus verifier cleanliness.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <filesystem>
+
 #include "src/benchsuite/appgen.h"
 #include "src/benchsuite/droidbench.h"
 #include "src/analysis/static_taint.h"
+#include "src/fuzz/replay.h"
 #include "src/packer/packer.h"
+#include "src/support/bytes.h"
 #include "tests/harness/diff_fixture.h"
 
 namespace dexlego {
@@ -197,6 +202,79 @@ TEST(DiffHarness, RevealIsIdempotent) {
       harness::run_differential(first.reveal.revealed_apk, options);
   EXPECT_TRUE(harness::BehaviorallyEquivalent(second));
   EXPECT_TRUE(harness::TraceEquivalent(first.revealed, second.revealed));
+}
+
+// --- FuzzRegressions: divergences surfaced by src/fuzz/, pinned forever ----
+// Every checked-in replay file under tests/data/fuzz/ names a seed input and
+// a minimized mutation trace. A file either still reproduces its recorded
+// divergence fingerprint, or — for findings closed by a fix — its note
+// documents the fix and the replay must come back clean. The named cases
+// below pin each root cause individually; the catch-all sweeps every file so
+// future findings can be checked in without touching this suite.
+
+std::filesystem::path fuzz_data_dir() {
+  return std::filesystem::path(DEXLEGO_FUZZ_DATA_DIR);
+}
+
+void replay_and_expect_holds(const std::filesystem::path& path) {
+  SCOPED_TRACE(path.filename().string());
+  std::vector<uint8_t> bytes = support::read_file(path.string());
+  fuzz::ReplayFile file = fuzz::deserialize(bytes);
+  if (file.expected_fingerprint == 0) {
+    // Closed findings must say what closed them.
+    EXPECT_FALSE(file.note.empty());
+  }
+  fuzz::ReplayResult result = fuzz::replay(file);
+  EXPECT_TRUE(result.matches_expectation)
+      << "oracle came back " << fuzz::outcome_name(result.report.outcome)
+      << (result.report.detail.empty() ? "" : " — ") << result.report.detail
+      << "\nnote: " << file.note;
+}
+
+TEST(FuzzRegressions, IdempotenceDuplicateInstrumentClass) {
+  // goto-loop mutant; re-reveal used to emit Ldexlego/Modification; twice.
+  replay_and_expect_holds(fuzz_data_dir() / "bytecode-idempotence-fixed.lfz");
+}
+
+TEST(FuzzRegressions, VariantNameCollisionRecursion) {
+  // Re-reveal's synthetic m0$v0 collided with the previous round's real
+  // m0$v0 and recursed to StackOverflowError.
+  replay_and_expect_holds(fuzz_data_dir() /
+                          "bytecode-variant-collision-fixed.lfz");
+}
+
+TEST(FuzzRegressions, ArgumentRegisterShift) {
+  // The emitter's scratch register banked arguments one register higher
+  // than the carried-over code read them.
+  replay_and_expect_holds(fuzz_data_dir() / "bytecode-arg-shift-fixed.lfz");
+}
+
+TEST(FuzzRegressions, LoadedClassDroppedFromReveal) {
+  // Classes reached only via Class.forName vanished from the revealed file.
+  replay_and_expect_holds(fuzz_data_dir() /
+                          "structural-loaded-class-fixed.lfz");
+}
+
+TEST(FuzzRegressions, StructuralCountBomb) {
+  // Hostile pool count reached vector::reserve before any bounds check.
+  replay_and_expect_holds(fuzz_data_dir() / "structural-count-bomb-fixed.lfz");
+}
+
+TEST(FuzzRegressions, BehavioralSelfModPackExclusion) {
+  // Self-modifying packer stubs cannot replay the revealed APK; the oracle
+  // demands captured covert variants instead.
+  replay_and_expect_holds(fuzz_data_dir() /
+                          "behavioral-selfmod-pack-fixed.lfz");
+}
+
+TEST(FuzzRegressions, EveryCheckedInReplayHolds) {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(fuzz_data_dir())) {
+    if (entry.path().extension() == ".lfz") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  ASSERT_GE(files.size(), 6u);
+  for (const std::filesystem::path& path : files) replay_and_expect_holds(path);
 }
 
 }  // namespace

@@ -295,6 +295,45 @@ TEST(BatchPipeline, SharedStoreDedupsAcrossBatches) {
   EXPECT_EQ(store.stats().entries, entries_after_first);
 }
 
+// --- the fuzz scenario: hostile-but-valid apps on the batch pipeline -------
+
+TEST(BatchPipeline, FuzzJobsAreDeterministic) {
+  std::vector<pipeline::BatchJob> a = pipeline::fuzz_jobs(6, 901);
+  std::vector<pipeline::BatchJob> b = pipeline::fuzz_jobs(6, 901);
+  ASSERT_EQ(a.size(), 6u);
+  ASSERT_EQ(b.size(), 6u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].scenario, "fuzz");
+    EXPECT_EQ(a[i].apk.write(), b[i].apk.write()) << a[i].name;
+  }
+  // A different base seed yields a different population.
+  std::vector<pipeline::BatchJob> c = pipeline::fuzz_jobs(6, 77);
+  bool any_differs = false;
+  for (size_t i = 0; i < c.size(); ++i) {
+    any_differs |= c[i].apk.write() != a[i].apk.write();
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(BatchPipeline, FuzzJobsRevealAndVerifyOnTheWorkerPool) {
+  // Both contributing families pre-filter to *valid* apps, so every job must
+  // collect, reassemble and verify — and stay byte-identical across thread
+  // counts like any other scenario.
+  std::vector<pipeline::BatchJob> jobs = pipeline::fuzz_jobs(6, 901);
+  pipeline::BatchOptions sequential;
+  sequential.threads = 1;
+  pipeline::BatchReport seq = pipeline::run_batch(jobs, sequential);
+  for (const pipeline::JobResult& job : seq.jobs) {
+    EXPECT_TRUE(job.ok) << job.name << ": " << job.error;
+    EXPECT_TRUE(job.verified) << job.name;
+  }
+  pipeline::BatchOptions parallel;
+  parallel.threads = 4;
+  pipeline::BatchReport par = pipeline::run_batch(jobs, parallel);
+  expect_identical_reports(seq, par);
+}
+
 // --- force execution on the pipeline: (app, plan) units -------------------
 
 TEST(ForcePipeline, ByteIdenticalAcrossThreadCountsOnDroidBench) {

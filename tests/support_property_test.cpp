@@ -4,11 +4,18 @@
 // checksum and collection-tree fingerprint on disk), and RNG determinism.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <variant>
 #include <vector>
 
+#include "src/bytecode/insn.h"
+#include "src/bytecode/verify_code.h"
+#include "src/dex/io.h"
+#include "src/dex/verify.h"
+#include "src/fuzz/corpus.h"
+#include "src/fuzz/mutator.h"
 #include "src/support/bytes.h"
 #include "src/support/hash.h"
 #include "src/support/rng.h"
@@ -224,6 +231,109 @@ TEST(RngProperty, RangeStaysInBounds) {
     int64_t v = rng.range(lo, hi);
     EXPECT_GE(v, lo);
     EXPECT_LE(v, hi);
+  }
+}
+
+// --- the mutator/verifier contract (src/fuzz/mutator.cpp) ------------------
+// Two properties the differential fuzzer's oracle relies on. They live here
+// with the other property tests because both quantify over generated inputs
+// rather than pinned examples.
+
+// Pinned copy of the mutator's format groups: members share width, operand
+// shape and verifier contract, so ANY within-group swap (not just the ones
+// plan_ops happens to draw) must keep the method verifier-clean.
+const std::vector<std::vector<bc::Op>>& swap_groups() {
+  using bc::Op;
+  static const std::vector<std::vector<Op>> groups = {
+      {Op::kAdd, Op::kSub, Op::kMul, Op::kDiv, Op::kRem, Op::kAnd, Op::kOr,
+       Op::kXor, Op::kShl, Op::kShr, Op::kCmp},
+      {Op::kIfEq, Op::kIfNe, Op::kIfLt, Op::kIfGe, Op::kIfGt, Op::kIfLe},
+      {Op::kIfEqz, Op::kIfNez, Op::kIfLtz, Op::kIfGez, Op::kIfGtz, Op::kIfLez},
+      {Op::kAddLit8, Op::kMulLit8},
+      {Op::kNeg, Op::kNot},
+  };
+  return groups;
+}
+
+TEST(MutatorVerifierContract, EveryFormatPreservingSwapStaysVerifierClean) {
+  fuzz::SeedInput seed = fuzz::resolve_seed("generated:701:600");
+  dex::DexFile file = dex::read_dex(seed.apk.classes());
+
+  // Enumerate (method ordinal, pc, replacement) exhaustively, not just the
+  // swaps plan_ops would draw, capped to keep the sweep brisk.
+  size_t checked = 0;
+  size_t ordinal = 0;
+  for (const dex::ClassDef& cls : file.classes) {
+    for (const auto* list : {&cls.direct_methods, &cls.virtual_methods}) {
+      for (const dex::MethodDef& method : *list) {
+        if (!method.code.has_value()) continue;
+        const std::vector<uint16_t>& insns = method.code->insns;
+        size_t pc = 0;
+        while (pc < insns.size() && checked < 300) {
+          size_t width = bc::width_at(insns, pc);
+          bc::Insn insn = bc::decode_at(std::span<const uint16_t>(insns), pc);
+          for (const std::vector<bc::Op>& group : swap_groups()) {
+            if (std::find(group.begin(), group.end(), insn.op) == group.end()) {
+              continue;
+            }
+            for (bc::Op replacement : group) {
+              if (replacement == insn.op) continue;
+              fuzz::MutationOp op{fuzz::kOpcodeSwap, ordinal, pc,
+                                  static_cast<uint64_t>(replacement)};
+              fuzz::Mutant mutant =
+                  fuzz::apply_ops(fuzz::Family::kBytecode, seed, {{op}});
+              dex::DexFile mutated = dex::read_dex(mutant.apk.classes());
+              dex::VerifyResult vr = bc::verify_dex(mutated);
+              EXPECT_TRUE(vr.ok())
+                  << "m" << ordinal << "@" << pc << " := "
+                  << bc::op_info(replacement).name << ": " << vr.message();
+              ++checked;
+            }
+          }
+          pc += width;
+        }
+        ++ordinal;
+      }
+    }
+  }
+  EXPECT_GT(checked, 50u);  // the sweep actually exercised real swaps
+}
+
+TEST(MutatorVerifierContract, StructuralMutantsNeverCrashTheLoader) {
+  // Whatever the structural family emits, parse + verify must either succeed
+  // or raise a clean ParseError — bad_alloc / out_of_range / UB all fail the
+  // test (these were real pre-hardening outcomes, see tests/data/fuzz/).
+  for (const std::string& key : fuzz::structural_seed_keys()) {
+    fuzz::SeedInput seed = fuzz::resolve_seed(key);
+    for (uint64_t rng_seed = 1; rng_seed <= 25; ++rng_seed) {
+      std::vector<fuzz::MutationOp> ops =
+          fuzz::plan_ops(fuzz::Family::kStructural, seed, rng_seed, 5);
+      fuzz::Mutant mutant =
+          fuzz::apply_ops(fuzz::Family::kStructural, seed, ops);
+      try {
+        dex::DexFile file = dex::read_dex(mutant.apk.classes());
+        (void)dex::verify_structure(file);  // reports, never throws
+        (void)bc::verify_dex(file);
+      } catch (const ParseError&) {
+        // clean rejection
+      }
+    }
+  }
+}
+
+TEST(MutatorVerifierContract, BehavioralMutantsAreAlwaysWellFormed) {
+  // Recipe-level mutants are hostile by construction but never invalid: the
+  // generated app must parse and verify for every drawn plan.
+  for (const std::string& key : fuzz::behavioral_seed_keys()) {
+    fuzz::SeedInput seed = fuzz::resolve_seed(key);
+    for (uint64_t rng_seed = 1; rng_seed <= 6; ++rng_seed) {
+      std::vector<fuzz::MutationOp> ops =
+          fuzz::plan_ops(fuzz::Family::kBehavioral, seed, rng_seed, 4);
+      fuzz::Mutant mutant =
+          fuzz::apply_ops(fuzz::Family::kBehavioral, seed, ops);
+      dex::DexFile file = dex::read_dex(mutant.apk.classes());
+      EXPECT_TRUE(dex::verify_structure(file).ok()) << key << "#" << rng_seed;
+    }
   }
 }
 
