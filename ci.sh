@@ -48,6 +48,20 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 "$BUILD_DIR"/examples/dexlego_batch --scenario guarded --count 2 --force \
   --jobs 2 --compare-sequential --quiet
 
+# --- interpreter dispatch bench smoke --------------------------------------
+# Runs the cached-vs-decode-every-step dispatch bench and a single-repeat
+# pipeline throughput run, collecting their BENCH_JSON lines into
+# BENCH_interp.json (one JSON object per line — the perf trajectory file).
+# interp_dispatch exits non-zero when the cached path is slower than the
+# fallback (--min-speedup defaults to 1.0), which fails this gate.
+bench_out="$(mktemp)"
+"$BUILD_DIR"/bench/interp_dispatch --loops 100000 | tee "$bench_out"
+grep '^BENCH_JSON ' "$bench_out" | sed 's/^BENCH_JSON //' > BENCH_interp.json
+"$BUILD_DIR"/bench/pipeline_throughput 1 | grep '^BENCH_JSON ' \
+  | sed 's/^BENCH_JSON //' >> BENCH_interp.json
+rm -f "$bench_out"
+echo "bench smoke passed ($(wc -l < BENCH_interp.json) BENCH_JSON lines)"
+
 # --- fuzz smoke ------------------------------------------------------------
 # A time-boxed fixed-seed differential-fuzzing campaign (docs/FUZZING.md).
 # Exit 1 means an unminimized divergence or crash survived to HEAD: the
@@ -59,8 +73,11 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 # Rebuilds the concurrency-bearing suites (pipeline_test: work-queue
 # scheduler + DedupStore races; force_engine_test: the frontier logic the
 # scheduler drives; fuzz_test: the campaign worker pool sharing resolved
-# seeds) under TSan and runs them. Skipped where TSan can't compile, link or
-# execute (older toolchains, restricted sandboxes).
+# seeds; interp_cache_test's threaded cases: per-runtime predecode caches
+# under the campaign pool) under TSan and runs them. interp_cache_test is
+# filtered to its thread-bearing cases — the full DroidBench parity sweep is
+# single-threaded and already runs in the normal pass. Skipped where TSan
+# can't compile, link or execute (older toolchains, restricted sandboxes).
 TSAN_DIR="${TSAN_DIR:-${BUILD_DIR}-tsan}"
 tsan_probe="$(mktemp -d)"
 cat > "$tsan_probe/probe.cpp" <<'EOF'
@@ -74,10 +91,11 @@ if c++ -fsanitize=thread -o "$tsan_probe/probe" "$tsan_probe/probe.cpp" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" \
     -DDEXLEGO_BUILD_BENCHES=OFF -DDEXLEGO_BUILD_EXAMPLES=OFF
   cmake --build "$TSAN_DIR" -j "$JOBS" \
-    --target pipeline_test force_engine_test fuzz_test
+    --target pipeline_test force_engine_test fuzz_test interp_cache_test
   "$TSAN_DIR"/tests/pipeline_test
   "$TSAN_DIR"/tests/force_engine_test
   "$TSAN_DIR"/tests/fuzz_test
+  "$TSAN_DIR"/tests/interp_cache_test --gtest_filter='InterpCacheThreads.*'
 else
   echo "ThreadSanitizer unavailable; skipping TSan pass"
 fi

@@ -474,9 +474,8 @@ GeneratedApp generate_app(const AppSpec& spec) {
                 cls, args.size() > 1 && args[1].test_value() == 0 ? "smCovert"
                                                                   : "smNormal");
             if (target == dex::kNoIndex) return rt::Value::Null();
-            if (call_pc + 1 < drive->code->insns.size()) {
-              drive->code->insns[call_pc + 1] = static_cast<uint16_t>(target);
-            }
+            // Announced patch (generation-bumping); see RtMethod::patch_code_unit.
+            drive->patch_code_unit(call_pc + 1, static_cast<uint16_t>(target));
             return rt::Value::Null();
           });
     };

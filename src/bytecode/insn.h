@@ -32,6 +32,14 @@ struct Insn {
 // never undefined behaviour — self-modifying code may write garbage).
 Insn decode_at(std::span<const uint16_t> code, size_t pc);
 
+// True number of code units a decoded instruction occupies. Equals
+// insn.width except for switch payloads, whose 4 + payload_count extent can
+// exceed the 8-bit width field.
+inline size_t consumed_units(const Insn& insn) {
+  return insn.op == Op::kPayload ? 4 + static_cast<size_t>(insn.payload_count)
+                                 : insn.width;
+}
+
 // Width of the instruction at pc without full decoding (payload-aware).
 size_t width_at(std::span<const uint16_t> code, size_t pc);
 

@@ -62,9 +62,10 @@ std::string render_outcome(const rt::ExecOutcome& out) {
 
 Trace trace_app(const dex::Apk& apk,
                 const std::function<void(rt::Runtime&)>& configure,
-                uint64_t step_limit) {
+                const OracleOptions& options) {
   rt::RuntimeConfig cfg;
-  cfg.step_limit = step_limit;
+  cfg.step_limit = options.step_limit;
+  cfg.dispatch = options.dispatch;
   rt::Runtime runtime(cfg);
   if (configure) configure(runtime);
   runtime.install(apk);
@@ -176,8 +177,7 @@ OracleReport run_oracle(const Mutant& mutant, const OracleOptions& options) {
   // Stage 2 — trace the mutant itself.
   Trace original;
   try {
-    original = trace_app(mutant.apk, mutant.configure_runtime,
-                         options.step_limit);
+    original = trace_app(mutant.apk, mutant.configure_runtime, options);
   } catch (const std::exception& e) {
     return finish(Outcome::kCrash, "trace(mutant): " + render_exception(e));
   }
@@ -188,6 +188,7 @@ OracleReport run_oracle(const Mutant& mutant, const OracleOptions& options) {
     core::DexLegoOptions reveal_options;
     reveal_options.configure_runtime = mutant.configure_runtime;
     reveal_options.runtime.step_limit = options.step_limit;
+    reveal_options.runtime.dispatch = options.dispatch;
     core::DexLego dexlego(reveal_options);
     reveal = dexlego.reveal(mutant.apk);
   } catch (const std::exception& e) {
@@ -212,8 +213,7 @@ OracleReport run_oracle(const Mutant& mutant, const OracleOptions& options) {
   // Stage 4 — behavioural equivalence of mutant vs revealed.
   Trace revealed;
   try {
-    revealed = trace_app(reveal.revealed_apk, mutant.configure_runtime,
-                         options.step_limit);
+    revealed = trace_app(reveal.revealed_apk, mutant.configure_runtime, options);
   } catch (const std::exception& e) {
     return finish(Outcome::kCrash, "trace(revealed): " + render_exception(e));
   }
@@ -227,6 +227,7 @@ OracleReport run_oracle(const Mutant& mutant, const OracleOptions& options) {
       core::DexLegoOptions reveal_options;
       reveal_options.configure_runtime = mutant.configure_runtime;
       reveal_options.runtime.step_limit = options.step_limit;
+      reveal_options.runtime.dispatch = options.dispatch;
       core::DexLego dexlego(reveal_options);
       again = dexlego.reveal(reveal.revealed_apk);
     } catch (const std::exception& e) {
@@ -239,8 +240,7 @@ OracleReport run_oracle(const Mutant& mutant, const OracleOptions& options) {
     }
     Trace twice;
     try {
-      twice = trace_app(again.revealed_apk, mutant.configure_runtime,
-                        options.step_limit);
+      twice = trace_app(again.revealed_apk, mutant.configure_runtime, options);
     } catch (const std::exception& e) {
       return finish(Outcome::kCrash,
                     "trace(re-revealed): " + render_exception(e));

@@ -217,7 +217,7 @@ void register_packer_natives(rt::Runtime& rt) {
           while (pc < insns.size()) {
             bc::Insn insn = bc::decode_at(insns, pc);
             if (insn.op == Op::kConst16 && insn.a == 0) {
-              noise->code->insns[pc + 1] ^= 1;
+              noise->patch_code_unit(pc + 1, noise->code->insns[pc + 1] ^ 1);
               break;
             }
             pc += insn.width;

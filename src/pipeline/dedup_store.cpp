@@ -8,34 +8,68 @@
 
 namespace dexlego::pipeline {
 
+namespace {
+
+// Default salted hash: salt 0 keeps the historical plain FNV-1a ids; the
+// re-hash chain folds the salt into the stream so two contents that collide
+// unsalted separate with overwhelming probability at every later salt.
+DedupStore::Id default_hash(std::span<const uint8_t> content, uint64_t salt) {
+  if (salt == 0) return support::fnv1a(content);
+  support::Fnv1a h;
+  h.add(salt);
+  h.add_bytes(content);
+  return h.digest();
+}
+
+}  // namespace
+
+DedupStore::DedupStore() : hash_(default_hash) {}
+
+DedupStore::DedupStore(HashFn hash)
+    : hash_(hash ? std::move(hash) : HashFn(default_hash)) {}
+
 DedupStore::InternResult DedupStore::intern(std::span<const uint8_t> content) {
   return intern(std::vector<uint8_t>(content.begin(), content.end()));
 }
 
 DedupStore::InternResult DedupStore::intern(std::vector<uint8_t>&& content) {
-  Id id = support::fnv1a(content);
+  Id id = hash_(content, 0);
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(id);
-  if (it != entries_.end()) {
-    if (it->second != content) {
-      // 64-bit FNV collision. FNV-1a is non-cryptographic and our input
-      // domain includes hostile apps, so aliasing the two contents under one
-      // id would be silent corruption — fail loudly instead; the batch
-      // worker contains the throw to this one job.
-      ++stats_.collisions;
-      DL_ERROR << "dedup store hash collision on id " << id;
-      throw std::runtime_error(
-          "DedupStore: content hash collision on id " + std::to_string(id));
+  for (uint64_t salt = 1;; ++salt) {
+    auto it = entries_.find(id);
+    if (it == entries_.end()) {
+      if (salt > 1) {
+        // This content's collision chain was just discovered: count the
+        // links once, at insert. Later interns of the same content re-walk
+        // the chain to the same id but are steady-state hits — counting or
+        // logging those would hand a hostile colliding pair a per-intern
+        // log-spam amplifier.
+        stats_.collisions += salt - 1;
+        DL_WARN << "dedup store hash collision; content re-keyed to id " << id
+                << " after " << (salt - 1) << " salted re-hashes";
+      }
+      stats_.bytes_stored += content.size();
+      entries_.emplace(id, std::move(content));
+      ++stats_.misses;
+      stats_.entries = entries_.size();
+      return {id, true};
     }
-    ++stats_.hits;
-    stats_.bytes_deduped += content.size();
-    return {id, false};
+    if (it->second == content) {
+      ++stats_.hits;
+      stats_.bytes_deduped += content.size();
+      return {id, false};
+    }
+    // 64-bit collision with a different resident content. Aliasing would be
+    // silent corruption and throwing would let a hostile app with an
+    // embedded colliding pair kill its own analysis job — so fail open:
+    // deterministically re-key this content with the next salt and retry.
+    if (salt > 64) {
+      // 64 consecutive salted collisions is beyond adversarial; treat the
+      // hash function as broken rather than loop forever.
+      throw std::runtime_error("DedupStore: unresolvable hash collision chain");
+    }
+    id = hash_(content, salt);
   }
-  stats_.bytes_stored += content.size();
-  entries_.emplace(id, std::move(content));
-  ++stats_.misses;
-  stats_.entries = entries_.size();
-  return {id, true};
 }
 
 const std::vector<uint8_t>* DedupStore::lookup(Id id) const {

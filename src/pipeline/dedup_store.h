@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <span>
@@ -28,16 +29,33 @@ class DedupStore {
   // Content-hash id. Stable: the same bytes always intern to the same id.
   using Id = uint64_t;
 
+  // Salted content hash. salt 0 is the primary id; salts 1, 2, ... key the
+  // deterministic re-hash chain walked on collisions. Injectable so tests
+  // can force collisions (a real 64-bit FNV collision is not constructible
+  // by brute force); production always uses the default.
+  using HashFn = std::function<Id(std::span<const uint8_t>, uint64_t salt)>;
+
+  // Default-constructed stores use the salted FNV-1a above; a null HashFn
+  // falls back to it too. Defined in the .cpp next to the default hash.
+  DedupStore();
+  explicit DedupStore(HashFn hash);
+
   struct InternResult {
     Id id = 0;
     bool inserted = false;  // false = content was already present (a hit)
   };
 
   // Interns `content`, storing a copy only on first sight. Thread-safe.
-  // Throws std::runtime_error on a detected 64-bit hash collision (two
-  // different contents, one id): FNV-1a is non-cryptographic and the input
-  // domain includes hostile apps, so the store refuses to alias rather than
-  // silently serve the wrong body.
+  // A 64-bit hash collision (two different contents, one id) must not alias
+  // — FNV-1a is non-cryptographic and the input domain includes hostile
+  // apps — but it must not kill the job either (an embedded colliding pair
+  // would be an adversary-controlled analysis denial). The store fails
+  // open: the incoming content is deterministically re-keyed along a salted
+  // re-hash chain (salt 1, 2, ...) until it finds its own entry or a free
+  // id, and the collision is counted in Stats::collisions. Under a
+  // collision the id assignment depends on which content arrived first
+  // (same caveat as per-job hit attribution, docs/PIPELINE.md); re-interning
+  // the same content always re-walks to the same id.
   InternResult intern(std::span<const uint8_t> content);
   // Ownership-taking variant: a miss moves the buffer into the store
   // instead of copying it inside the store mutex.
@@ -53,7 +71,8 @@ class DedupStore {
     uint64_t misses = 0;         // interns that stored new content
     uint64_t bytes_stored = 0;   // sum of unique content sizes
     uint64_t bytes_deduped = 0;  // bytes NOT stored thanks to hits
-    uint64_t collisions = 0;     // same hash, different bytes (pathological)
+    uint64_t collisions = 0;     // re-hash chain links created (pathological);
+                                 // counted once at discovery, not per re-walk
 
     double hit_rate() const {
       uint64_t total = hits + misses;
@@ -65,6 +84,7 @@ class DedupStore {
 
  private:
   mutable std::mutex mu_;
+  HashFn hash_;  // never null; defaults to the salted FNV-1a
   std::unordered_map<Id, std::vector<uint8_t>> entries_;
   Stats stats_;
 };

@@ -140,10 +140,15 @@ void install_object_and_strings(Runtime& rt) {
     return make_string(ctx, value_as_string(args[0]), value_taint(args[0]));
   });
 
-  // StringBuilder over the receiver's str payload.
+  // StringBuilder over the receiver's str payload. The receiver must not be
+  // a String object: on-device the verifier makes that unrepresentable, and
+  // here strings can be shared interned literals (Heap::intern_string) — a
+  // hostile invoke-virtual of append on a const-string receiver must not
+  // mutate the literal every other use site sees.
   rt.register_builtin("Ljava/lang/StringBuilder;-><init>",
                       [](NativeContext&, std::span<Value> args) {
-                        if (!args.empty() && args[0].ref != nullptr) {
+                        if (!args.empty() && args[0].ref != nullptr &&
+                            args[0].ref->kind != Object::Kind::kString) {
                           args[0].ref->str =
                               args.size() > 1 ? value_as_string(args[1]) : "";
                           args[0].ref->taint |=
@@ -154,7 +159,8 @@ void install_object_and_strings(Runtime& rt) {
   rt.register_builtin("Ljava/lang/StringBuilder;->append",
                       [](NativeContext&, std::span<Value> args) {
                         if (!args.empty() && args[0].ref != nullptr) {
-                          if (args.size() > 1) {
+                          if (args.size() > 1 &&
+                              args[0].ref->kind != Object::Kind::kString) {
                             args[0].ref->str += value_as_string(args[1]);
                             args[0].ref->taint |= value_taint(args[1]);
                           }

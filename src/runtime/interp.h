@@ -4,6 +4,14 @@
 // array is re-fetched from the method on every step so native code patching
 // it mid-execution (self-modifying apps) is observed faithfully.
 //
+// Two dispatch modes (RuntimeConfig::dispatch, docs/INTERPRETER.md):
+// kCached serves each step from the method's predecoded cache
+// (src/runtime/predecode.h — decode-once, source-unit-guarded against
+// self-modification, with inline caches for method/field/string pool refs);
+// kBaseline decodes and resolves everything every step and is kept as the
+// differential baseline. Both must produce byte-identical traces
+// (tests/interp_cache_test.cpp).
+//
 // The interpreter also implements the dynamic-taint substrate (value taint
 // masks propagate through moves/arithmetic/fields) and the two
 // force-execution interposition points: branch-outcome override and
@@ -60,8 +68,11 @@ class Interpreter {
 
  private:
   CallResult run_bytecode(RtMethod& method, std::vector<Value>& args);
+  // `ic` is the call site's inline-cache slot in cached dispatch mode,
+  // nullptr in baseline mode.
   CallResult dispatch_invoke(uint8_t op_raw, RtMethod& caller, uint32_t pc,
-                             uint16_t method_idx, std::vector<Value> args);
+                             uint16_t method_idx, std::vector<Value> args,
+                             InlineSite* ic);
   CallResult call_builtin(const std::string& class_descriptor,
                           const std::string& name, RtMethod* caller,
                           uint32_t caller_pc, std::vector<Value>& args);

@@ -23,6 +23,14 @@ Object* Heap::new_string(std::string s, uint32_t taint) {
   return objects_.back().get();
 }
 
+Object* Heap::intern_string(const std::string& s) {
+  auto it = interned_.find(s);
+  if (it != interned_.end()) return it->second;
+  Object* obj = new_string(s);
+  interned_.emplace(s, obj);
+  return obj;
+}
+
 Object* Heap::new_array(std::string descriptor, size_t length) {
   auto obj = std::make_unique<Object>();
   obj->kind = Object::Kind::kArray;

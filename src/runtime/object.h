@@ -47,10 +47,21 @@ class Heap {
   // Framework-internal object with a property bag (Intent, Class, ...).
   Object* new_framework(std::string descriptor);
 
+  // Literal pool: one shared string object per distinct content, mirroring
+  // Dalvik's interned-string identity semantics — two const-string of the
+  // same literal (and string-valued static initializers) are reference-
+  // equal, so if-eq identity checks on literals behave like on-device.
+  // Interned strings carry no taint and are never mutated: StringBuilder
+  // buffers are separate instance objects, and the StringBuilder builtins
+  // refuse string receivers (a hostile app invoking append on a literal
+  // must not rewrite every use site's copy).
+  Object* intern_string(const std::string& s);
+
   size_t object_count() const { return objects_.size(); }
 
  private:
   std::vector<std::unique_ptr<Object>> objects_;
+  std::map<std::string, Object*, std::less<>> interned_;
 };
 
 }  // namespace dexlego::rt

@@ -6,6 +6,18 @@ std::string RtMethod::full_name() const {
   return (declaring ? declaring->descriptor : std::string("?")) + "->" + name;
 }
 
+void RtMethod::patch_code_unit(size_t index, uint16_t value) {
+  if (!code || index >= code->insns.size()) return;
+  code->insns[index] = value;
+  ++code_generation;
+  if (predecoded) predecoded->patch_unit(index, code_generation);
+}
+
+void RtMethod::invalidate_code_cache() {
+  ++code_generation;
+  predecoded.reset();
+}
+
 RtMethod* RtClass::find_declared(std::string_view name, std::string_view shorty) {
   for (auto& m : methods) {
     if (m->name == name && m->shorty == shorty) return m.get();
@@ -25,11 +37,25 @@ RtMethod* RtClass::find_dispatch(std::string_view name, std::string_view shorty)
     if (RtMethod* m = cls->find_declared(name, shorty)) return m;
   }
   // Retry by name only: samples sometimes call with a compatible shorty
-  // (e.g. Object vs String parameters), mirroring erased generics.
+  // (e.g. Object vs String parameters), mirroring erased generics. An empty
+  // shorty is the reflection model's explicit "any overload" query and keeps
+  // first-declared semantics; a concrete shorty that matched nothing only
+  // falls back when the name picks a unique overload — several same-name
+  // declarations with distinct shorties would dispatch arbitrarily (the
+  // same rule as ClassLinker::resolve_method), so that stays unresolved.
+  RtMethod* unique = nullptr;
   for (RtClass* cls = this; cls != nullptr; cls = cls->super) {
-    if (RtMethod* m = cls->find_declared(name)) return m;
+    for (auto& m : cls->methods) {
+      if (m->name != name) continue;
+      if (shorty.empty()) return m.get();
+      if (unique == nullptr) {
+        unique = m.get();
+      } else if (m->shorty != unique->shorty) {
+        return nullptr;  // ambiguous overload set
+      }
+    }
   }
-  return nullptr;
+  return unique;
 }
 
 RtField* RtClass::find_instance_field(std::string_view name) {

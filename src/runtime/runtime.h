@@ -25,6 +25,13 @@ namespace dexlego::rt {
 
 enum class DeviceProfile { kPhone, kTablet, kEmulator };
 
+// Interpreter dispatch strategy. kCached predecodes instruction streams and
+// inline-caches pool resolution (src/runtime/predecode.h); kBaseline
+// re-decodes every step and re-resolves every pool ref — deliberately kept
+// alive as the differential baseline the cached path is tested against
+// (tests/interp_cache_test.cpp, bench/interp_dispatch.cpp).
+enum class DispatchMode : uint8_t { kCached, kBaseline };
+
 struct RuntimeConfig {
   DeviceProfile device = DeviceProfile::kPhone;
   // false models the TaintDroid/TaintART taint loss through framework/native
@@ -33,6 +40,7 @@ struct RuntimeConfig {
   // Unknown framework calls: no-op (true) or NoSuchMethodError (false).
   bool lenient_framework = false;
   uint64_t step_limit = 200'000'000;
+  DispatchMode dispatch = DispatchMode::kCached;
 };
 
 class Runtime {

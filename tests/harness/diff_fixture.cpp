@@ -50,7 +50,12 @@ std::string ExecutionTrace::summary() const {
 }
 
 ExecutionTrace run_and_trace(const dex::Apk& apk, const ConfigureFn& configure) {
-  rt::Runtime runtime;
+  return run_and_trace(apk, configure, rt::RuntimeConfig{});
+}
+
+ExecutionTrace run_and_trace(const dex::Apk& apk, const ConfigureFn& configure,
+                             const rt::RuntimeConfig& config) {
+  rt::Runtime runtime(config);
   if (configure) configure(runtime);
   runtime.install(apk);
 

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "src/pipeline/batch.h"
 #include "src/pipeline/dedup_store.h"
 #include "src/pipeline/scenarios.h"
+#include "src/support/hash.h"
 #include "src/support/timer.h"
 #include "tests/harness/diff_fixture.h"
 
@@ -101,6 +103,62 @@ TEST(DedupStore, StableIdsUnderConcurrentInsert) {
   EXPECT_EQ(stats.misses, kBlobs);
   EXPECT_EQ(stats.hits, kThreads * kBlobs - kBlobs);
   EXPECT_EQ(stats.collisions, 0u);
+}
+
+TEST(DedupStore, ForcedCollisionFailsOpenWithDeterministicRekey) {
+  // A hostile app embedding an FNV-colliding content pair must not kill its
+  // own analysis job. A real 64-bit collision is not constructible by brute
+  // force, so inject a hash whose primary id is constant (everything
+  // collides at salt 0) while the salted re-hash chain separates contents.
+  auto weak_hash = [](std::span<const uint8_t> content,
+                      uint64_t salt) -> pipeline::DedupStore::Id {
+    if (salt == 0) return 42;
+    support::Fnv1a h;
+    h.add(salt);
+    h.add_bytes(content);
+    return h.digest();
+  };
+
+  pipeline::DedupStore store{pipeline::DedupStore::HashFn(weak_hash)};
+  std::vector<uint8_t> a = {1, 2, 3};
+  std::vector<uint8_t> b = {9, 8, 7, 6};
+
+  auto first = store.intern(a);
+  EXPECT_TRUE(first.inserted);
+  EXPECT_EQ(first.id, 42u);
+
+  // b collides with a at salt 0: no throw, a distinct re-keyed id.
+  auto second = store.intern(b);
+  EXPECT_TRUE(second.inserted);
+  EXPECT_NE(second.id, first.id);
+  EXPECT_GT(store.stats().collisions, 0u);
+
+  // Both contents stay retrievable under their own ids...
+  ASSERT_NE(store.lookup(first.id), nullptr);
+  ASSERT_NE(store.lookup(second.id), nullptr);
+  EXPECT_EQ(*store.lookup(first.id), a);
+  EXPECT_EQ(*store.lookup(second.id), b);
+
+  // ...and re-interning deterministically re-walks to the same ids without
+  // re-counting the collision (a steady-state hit must not amplify the
+  // counter or the warning log on every intern).
+  uint64_t collisions_after_insert = store.stats().collisions;
+  auto a_again = store.intern(a);
+  auto b_again = store.intern(b);
+  EXPECT_FALSE(a_again.inserted);
+  EXPECT_FALSE(b_again.inserted);
+  EXPECT_EQ(a_again.id, first.id);
+  EXPECT_EQ(b_again.id, second.id);
+  EXPECT_EQ(store.stats().entries, 2u);
+  EXPECT_EQ(store.stats().collisions, collisions_after_insert);
+
+  // A third colliding content walks one link further down the chain.
+  std::vector<uint8_t> c = {5, 5, 5, 5, 5};
+  auto third = store.intern(c);
+  EXPECT_TRUE(third.inserted);
+  EXPECT_NE(third.id, first.id);
+  EXPECT_NE(third.id, second.id);
+  EXPECT_EQ(*store.lookup(third.id), c);
 }
 
 TEST(DedupStore, IdenticalAppsInternToFullHits) {
