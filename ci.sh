@@ -47,6 +47,10 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
   --threads 2 --compare-sequential --quiet
 "$BUILD_DIR"/examples/dexlego_batch --scenario guarded --count 2 --force \
   --jobs 2 --compare-sequential --quiet
+# Real-DEX containers (classes.dex + split multidex) through the same
+# pipeline, byte-compared against sequential — ARCHITECTURE invariant 12.
+"$BUILD_DIR"/examples/dexlego_batch --scenario realdex --count 6 \
+  --threads 2 --compare-sequential --quiet
 
 # --- interpreter dispatch bench smoke --------------------------------------
 # Runs the cached-vs-decode-every-step dispatch bench and a single-repeat
@@ -91,11 +95,15 @@ if c++ -fsanitize=thread -o "$tsan_probe/probe" "$tsan_probe/probe.cpp" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" \
     -DDEXLEGO_BUILD_BENCHES=OFF -DDEXLEGO_BUILD_EXAMPLES=OFF
   cmake --build "$TSAN_DIR" -j "$JOBS" \
-    --target pipeline_test force_engine_test fuzz_test interp_cache_test
+    --target pipeline_test force_engine_test fuzz_test interp_cache_test \
+             real_dex_test
   "$TSAN_DIR"/tests/pipeline_test
   "$TSAN_DIR"/tests/force_engine_test
   "$TSAN_DIR"/tests/fuzz_test
   "$TSAN_DIR"/tests/interp_cache_test --gtest_filter='InterpCacheThreads.*'
+  # Container-equivalence runs the reveal pipeline end to end; under TSan it
+  # guards the real-DEX load path against racy lazy state.
+  "$TSAN_DIR"/tests/real_dex_test --gtest_filter='RealDexContainerEquivalence.*'
 else
   echo "ThreadSanitizer unavailable; skipping TSan pass"
 fi

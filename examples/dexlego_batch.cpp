@@ -4,7 +4,7 @@
 // plus the fleet summary (verified count, leak ground-truth agreement,
 // dedup hit rate, apps/sec).
 //
-//   dexlego_batch [--scenario droidbench|generated|guarded|packed|unpacked|fuzz|all]
+//   dexlego_batch [--scenario droidbench|generated|guarded|packed|unpacked|realdex|fuzz|all]
 //                 [--threads N | --jobs N] [--count N] [--repeat R]
 //                 [--force] [--force-depth D] [--force-iters I]
 //                 [--compare-sequential] [--json] [--quiet]
@@ -44,6 +44,7 @@ std::vector<pipeline::BatchJob> build_scenario(const std::string& name,
   if (name == "guarded") return pipeline::guarded_jobs(count);
   if (name == "packed") return pipeline::packed_jobs();
   if (name == "unpacked") return pipeline::unpacker_baseline_jobs();
+  if (name == "realdex") return pipeline::realdex_jobs(count);
   if (name == "fuzz") return pipeline::fuzz_jobs(count);
   if (name == "all") return pipeline::all_jobs();
   std::fprintf(stderr, "unknown scenario '%s'\n", name.c_str());

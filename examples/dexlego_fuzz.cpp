@@ -13,7 +13,7 @@
 //   mutant now comes back clean).
 //
 //   dexlego_fuzz [--seed S] [--iters N] [--threads T]
-//                [--family structural|bytecode|behavioral|all]
+//                [--family structural|bytecode|behavioral|realdex|all]
 //                [--max-ops K] [--steps N] [--no-minimize] [--no-idempotence]
 //                [--out <dir>] [--json] [--quiet]
 //   dexlego_fuzz --replay <file> [--steps N]

@@ -6,6 +6,7 @@
 
 #include "src/bytecode/insn.h"
 #include "src/dex/io.h"
+#include "src/dex/real/real_dex.h"
 #include "src/runtime/source_sink.h"
 #include "src/support/bytes.h"
 #include "src/support/log.h"
@@ -910,7 +911,7 @@ AnalysisResult StaticAnalyzer::analyze(const dex::DexFile& file) {
 }
 
 AnalysisResult StaticAnalyzer::analyze_apk(const dex::Apk& apk) {
-  dex::DexFile file = dex::read_dex(apk.classes());
+  dex::DexFile file = dex::load_classes(apk);
   return analyze(file);
 }
 

@@ -5,6 +5,7 @@
 #include "src/bytecode/assembler.h"
 #include "src/dex/builder.h"
 #include "src/dex/io.h"
+#include "src/dex/real/real_dex.h"
 
 namespace dexlego::suite {
 
@@ -454,6 +455,9 @@ GeneratedApp generate_app(const AppSpec& spec) {
   manifest.version = "1.0";
   app.apk.set_manifest(manifest);
   app.apk.set_classes(dex::write_dex(file));
+  if (spec.real_dex_parts > 0) {
+    app.apk = dex::to_real_container(app.apk, spec.real_dex_parts);
+  }
   if (spec.self_modifying) {
     // The tamper resolves the swap target against the image that actually
     // defines the class (packers re-intern pools), exactly like the

@@ -55,6 +55,11 @@ struct AppSpec {
   // indices against the executing image, and the returned
   // GeneratedApp::configure_runtime must be installed on every runtime.
   bool self_modifying = false;
+
+  // Alternate container: 0 ships the usual classes.ldex; >= 1 ships the app
+  // as a real Android DEX container instead (classes.dex, plus classes2.dex
+  // ... when > 1 — the multidex shape). See src/dex/real/real_dex.h.
+  size_t real_dex_parts = 0;
 };
 
 struct GeneratedApp {

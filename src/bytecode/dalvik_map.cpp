@@ -1,0 +1,157 @@
+#include "src/bytecode/dalvik_map.h"
+
+#include <array>
+
+#include "src/bytecode/insn.h"
+#include "src/support/bytes.h"
+
+namespace dexlego::bc {
+
+namespace {
+
+struct DalvikEntry {
+  uint8_t value;
+  std::string_view name;
+};
+
+// Indexed by LDEX Op. Values are the real AOSP opcodes whose semantics the
+// LDEX instruction mirrors; where LDEX collapses a family (e.g. one `aget`
+// for all element widths) the plain-int member represents it. kPayload is
+// special-cased by the transcoder (ident unit 0x0100, not an opcode byte).
+constexpr std::array<DalvikEntry, static_cast<size_t>(Op::kMaxOp) + 1>
+    kDalvikTable = {{
+        {0x00, "nop"},             // kNop
+        {0x01, "move"},            // kMove
+        {0x13, "const/16"},        // kConst16
+        {0x14, "const"},           // kConst32
+        {0x18, "const-wide"},      // kConstWide
+        {0x1a, "const-string"},    // kConstString
+        {0x12, "const/4"},         // kConstNull (loads the null literal)
+        {0x0a, "move-result"},     // kMoveResult
+        {0x0d, "move-exception"},  // kMoveException
+        {0x0e, "return-void"},     // kReturnVoid
+        {0x0f, "return"},          // kReturn
+        {0x27, "throw"},           // kThrow
+        {0x29, "goto/16"},         // kGoto (16-bit offset form)
+        {0x32, "if-eq"},           // kIfEq
+        {0x33, "if-ne"},           // kIfNe
+        {0x34, "if-lt"},           // kIfLt
+        {0x35, "if-ge"},           // kIfGe
+        {0x36, "if-gt"},           // kIfGt
+        {0x37, "if-le"},           // kIfLe
+        {0x38, "if-eqz"},          // kIfEqz
+        {0x39, "if-nez"},          // kIfNez
+        {0x3a, "if-ltz"},          // kIfLtz
+        {0x3b, "if-gez"},          // kIfGez
+        {0x3c, "if-gtz"},          // kIfGtz
+        {0x3d, "if-lez"},          // kIfLez
+        {0x90, "add-int"},         // kAdd
+        {0x91, "sub-int"},         // kSub
+        {0x92, "mul-int"},         // kMul
+        {0x93, "div-int"},         // kDiv
+        {0x94, "rem-int"},         // kRem
+        {0x95, "and-int"},         // kAnd
+        {0x96, "or-int"},          // kOr
+        {0x97, "xor-int"},         // kXor
+        {0x98, "shl-int"},         // kShl
+        {0x99, "shr-int"},         // kShr
+        {0x31, "cmp-long"},        // kCmp (three-register compare)
+        {0xd8, "add-int/lit8"},    // kAddLit8
+        {0xda, "mul-int/lit8"},    // kMulLit8
+        {0x7b, "neg-int"},         // kNeg
+        {0x7c, "not-int"},         // kNot
+        {0x22, "new-instance"},    // kNewInstance
+        {0x23, "new-array"},       // kNewArray
+        {0x21, "array-length"},    // kArrayLength
+        {0x44, "aget"},            // kAget
+        {0x4b, "aput"},            // kAput
+        {0x52, "iget"},            // kIget
+        {0x59, "iput"},            // kIput
+        {0x60, "sget"},            // kSget
+        {0x67, "sput"},            // kSput
+        {0x6e, "invoke-virtual"},  // kInvokeVirtual
+        {0x70, "invoke-direct"},   // kInvokeDirect
+        {0x71, "invoke-static"},   // kInvokeStatic
+        {0x2b, "packed-switch"},   // kPackedSwitch
+        {0x20, "instance-of"},     // kInstanceOf
+        {0x00, "packed-switch-payload"},  // kPayload (ident 0x0100)
+    }};
+
+// Reverse lookup built once; 0xff = unmapped.
+constexpr std::array<uint8_t, 256> build_reverse() {
+  std::array<uint8_t, 256> rev{};
+  for (auto& v : rev) v = 0xff;
+  for (size_t i = 0; i + 1 < kDalvikTable.size(); ++i) {  // kPayload excluded
+    rev[kDalvikTable[i].value] = static_cast<uint8_t>(i);
+  }
+  return rev;
+}
+
+constexpr std::array<uint8_t, 256> kReverse = build_reverse();
+
+}  // namespace
+
+uint8_t dalvik_opcode(Op op) {
+  return kDalvikTable[static_cast<size_t>(op)].value;
+}
+
+std::optional<Op> op_from_dalvik(uint8_t raw) {
+  uint8_t ldex = kReverse[raw];
+  if (ldex == 0xff) return std::nullopt;
+  return static_cast<Op>(ldex);
+}
+
+std::string_view dalvik_name(Op op) {
+  return kDalvikTable[static_cast<size_t>(op)].name;
+}
+
+std::vector<uint16_t> transcode_to_dalvik(std::span<const uint16_t> insns) {
+  std::vector<uint16_t> out(insns.begin(), insns.end());
+  size_t pc = 0;
+  while (pc < insns.size()) {
+    size_t width = width_at(insns, pc);  // throws ParseError on garbage
+    if (width == 0 || pc + width > insns.size()) {
+      throw support::ParseError("truncated instruction during transcode");
+    }
+    Op op = static_cast<Op>(insns[pc] & 0xff);
+    if (op == Op::kPayload) {
+      out[pc] = kDalvikPackedSwitchPayload;
+    } else {
+      out[pc] = static_cast<uint16_t>((insns[pc] & 0xff00) |
+                                      dalvik_opcode(op));
+    }
+    pc += width;
+  }
+  return out;
+}
+
+std::vector<uint16_t> transcode_from_dalvik(std::span<const uint16_t> insns) {
+  std::vector<uint16_t> out(insns.begin(), insns.end());
+  size_t pc = 0;
+  while (pc < insns.size()) {
+    uint16_t unit = insns[pc];
+    size_t width;
+    if (unit == kDalvikPackedSwitchPayload) {
+      if (pc + 4 > insns.size()) {
+        throw support::ParseError("truncated switch payload in real DEX code");
+      }
+      width = 4 + static_cast<size_t>(insns[pc + 1]);
+      out[pc] = static_cast<uint16_t>(Op::kPayload);
+    } else {
+      std::optional<Op> op = op_from_dalvik(static_cast<uint8_t>(unit & 0xff));
+      if (!op.has_value()) {
+        throw support::ParseError("real DEX opcode outside the mapped set");
+      }
+      width = op_info(*op).width;
+      out[pc] = static_cast<uint16_t>((unit & 0xff00) |
+                                      static_cast<uint16_t>(*op));
+    }
+    if (width == 0 || pc + width > insns.size()) {
+      throw support::ParseError("truncated instruction in real DEX code");
+    }
+    pc += width;
+  }
+  return out;
+}
+
+}  // namespace dexlego::bc

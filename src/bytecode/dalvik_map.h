@@ -1,0 +1,45 @@
+// Opcode/format mapping between the LDEX instruction set and the real Dalvik
+// Executable opcode space (the `dex\n`-magic frontend/backend in
+// src/dex/real/). Every LDEX opcode maps to a distinct real Dalvik opcode
+// value whose semantics it mirrors (kIfEq -> 0x32 if-eq, kInvokeStatic ->
+// 0x71 invoke-static, ...), so the mapping is bijective and transcoding is
+// exactly invertible: a real-DEX code item stores the Dalvik opcode byte in
+// code unit 0 while keeping the LDEX operand layout (the documented format
+// deviation — see docs/DEX_FORMAT.md).
+//
+// Switch payloads map to the real packed-switch-payload ident unit 0x0100.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/bytecode/opcodes.h"
+
+namespace dexlego::bc {
+
+// Real Dalvik packed-switch-payload identifier (full 16-bit ident unit).
+inline constexpr uint16_t kDalvikPackedSwitchPayload = 0x0100;
+
+// The real Dalvik opcode value an LDEX opcode transcodes to.
+uint8_t dalvik_opcode(Op op);
+
+// Reverse map; nullopt for Dalvik opcodes with no LDEX correspondent.
+std::optional<Op> op_from_dalvik(uint8_t raw);
+
+// AOSP mnemonic of the mapped opcode ("if-eq", "invoke-static", ...).
+std::string_view dalvik_name(Op op);
+
+// Rewrites an LDEX instruction stream's opcode bytes to their Dalvik values
+// (operand units untouched). Walks real instruction boundaries; throws
+// support::ParseError on undecodable input, so garbage never reaches a real
+// DEX container unnoticed.
+std::vector<uint16_t> transcode_to_dalvik(std::span<const uint16_t> insns);
+
+// Exact inverse of transcode_to_dalvik. Throws support::ParseError on
+// unmapped opcodes or truncated instructions (hostile real-DEX code items
+// fail closed).
+std::vector<uint16_t> transcode_from_dalvik(std::span<const uint16_t> insns);
+
+}  // namespace dexlego::bc

@@ -2,6 +2,7 @@
 
 #include "src/bytecode/verify_code.h"
 #include "src/dex/io.h"
+#include "src/dex/real/real_dex.h"
 #include "src/support/log.h"
 
 namespace dexlego::core {
@@ -59,7 +60,11 @@ RevealResult DexLego::reassemble_files(const CollectionFiles& files,
 
   // Replace the DEX inside the original APK (paper: "we leverage the Android
   // Asset Packaging Tool ... to replace the DEX file in the original APK").
+  // Real-DEX entries are stripped so the revealed APK carries exactly one
+  // container — the revealed bytes are identical whichever container the
+  // input shipped (ARCHITECTURE invariant 12).
   result.revealed_apk = original;
+  dex::strip_real_classes(result.revealed_apk);
   result.revealed_apk.set_classes(dex::write_dex(ra.file));
   return result;
 }

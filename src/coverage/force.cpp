@@ -6,6 +6,7 @@
 #include "src/bytecode/insn.h"
 #include "src/coverage/force_engine.h"
 #include "src/dex/io.h"
+#include "src/dex/real/real_dex.h"
 #include "src/support/bytes.h"
 #include "src/support/hash.h"
 
@@ -166,7 +167,7 @@ void run_plan(const dex::Apk& apk, const ForcePlan& plan,
 
 ForceResult force_execute(const dex::Apk& apk, const ForceOptions& options,
                           const CoverageTracker& seed) {
-  dex::DexFile app = dex::read_dex(apk.classes());
+  dex::DexFile app = dex::load_classes(apk);
   ForceEngine engine(app, options.engine);
   engine.observe(PlanUnit{}, seed);  // baseline: the seed's natural coverage
 
@@ -190,7 +191,7 @@ ForceResult force_execute(const dex::Apk& apk, const ForceOptions& options,
 ForceResult single_plan_force_execute(const dex::Apk& apk,
                                       const ForceOptions& options,
                                       const CoverageTracker& seed) {
-  dex::DexFile app = dex::read_dex(apk.classes());
+  dex::DexFile app = dex::load_classes(apk);
   // Static index: method key -> code item.
   std::map<std::string, const dex::CodeItem*> code_of;
   for (const dex::ClassDef& cls : app.classes) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/dex/io.h"
+#include "src/dex/real/real_dex.h"
 
 namespace dexlego::coverage {
 
@@ -88,7 +89,7 @@ void execute_sequence(const dex::Apk& apk, const EventSequence& seq,
 
 FuzzResult fuzz_app(const dex::Apk& apk, const FuzzOptions& options) {
   support::Rng rng(options.seed);
-  dex::DexFile app = dex::read_dex(apk.classes());
+  dex::DexFile app = dex::load_classes(apk);
   FuzzResult result;
 
   std::vector<EventSequence> population;

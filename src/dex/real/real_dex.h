@@ -1,0 +1,71 @@
+// Real Android DEX format (`dex\n035` magic) frontend/backend. Parses and
+// emits the actual Dalvik Executable container — header with adler32
+// checksum and SHA-1 signature, uleb128/sleb128 encodings, sorted
+// string/type/proto/field/method pools, class_defs with class_data /
+// encoded static values / code items / debug line tables, and multidex
+// (`classes.dex`, `classes2.dex`, ...) ingestion — and converts to/from the
+// in-memory dex::DexFile model, so the collector, verifier, reassembler,
+// ForceEngine and fuzzer all work unchanged on real-format inputs.
+//
+// Instruction streams are stored with real Dalvik opcode bytes via the
+// bijective mapping in src/bytecode/dalvik_map.h; operand layout and the
+// handful of other documented deviations from AOSP are listed in
+// docs/DEX_FORMAT.md. Parsing is hardened to the same standard as the LDEX
+// reader: leb128 length bombs, hostile pool counts, aliased pool offsets
+// and truncated items all raise a clean support::ParseError, never UB.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/dex/archive.h"
+#include "src/dex/dex.h"
+
+namespace dexlego::dex {
+
+// "dex\n035\0" — the API-14+ version every real-world tool accepts.
+inline constexpr uint8_t kRealDexMagic[8] = {'d', 'e', 'x', '\n',
+                                             '0', '3', '5', '\0'};
+
+// Container sniffing (cheap, header-prefix only).
+bool is_real_dex(std::span<const uint8_t> data);
+bool is_ldex(std::span<const uint8_t> data);
+
+// Serializes the model as a real DEX file: pools canonicalized (sorted,
+// deduplicated, shorty strings interned, instruction pool operands
+// remapped), adler32 checksum and SHA-1 signature recomputed. Throws
+// support::ParseError when the model cannot be expressed (undecodable
+// instruction stream, out-of-range pool indices).
+std::vector<uint8_t> emit_real(const DexFile& file);
+
+// Parses and validates a real DEX file back into the model. Verifies the
+// checksum and signature, bounds-checks every offset and count before
+// allocating, and rejects structural hostility (string-offset aliasing,
+// oversized leb128s, truncated code items) with a clean ParseError.
+DexFile parse_real(std::span<const uint8_t> data);
+
+// Sniffs the magic and dispatches to read_dex (LDEX) or parse_real.
+DexFile load_any(std::span<const uint8_t> data);
+
+// Loads an APK's executable payload whichever container it ships:
+// classes.ldex, or classes.dex plus any classes2.dex, classes3.dex, ...
+// multidex siblings (merged into one model with pools re-interned and
+// instruction operands remapped). Throws ParseError when no executable
+// entry exists or any part is malformed.
+DexFile load_classes(const Apk& apk);
+bool has_classes(const Apk& apk);
+
+// Name of the k-th real-DEX entry: "classes.dex", "classes2.dex", ...
+std::string real_classes_entry(size_t index);
+
+// Removes every classes.dex / classesN.dex entry (the splice step calls this
+// so a revealed APK never carries both containers at once).
+void strip_real_classes(Apk& apk);
+
+// Rewrites an LDEX-container APK into a real-DEX container: classes.ldex is
+// replaced by `parts` real DEX files (classes split contiguously across
+// them when parts > 1 — the multidex shape). Manifest and assets are kept.
+Apk to_real_container(const Apk& apk, size_t parts = 1);
+
+}  // namespace dexlego::dex

@@ -1,5 +1,6 @@
 #include "src/fuzz/corpus.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "src/benchsuite/droidbench.h"
@@ -82,6 +83,33 @@ SeedInput resolve_packed(const std::string& key, const std::string& args) {
   return seed;
 }
 
+// "realdex:<seed>:<units>:<parts>" — a generated full-coverage app shipped
+// as a real Android DEX container (split multidex when parts > 1).
+SeedInput resolve_realdex(const std::string& key, const std::string& args) {
+  size_t first = args.find(':');
+  size_t second = first == std::string::npos ? std::string::npos
+                                             : args.find(':', first + 1);
+  if (second == std::string::npos) {
+    throw std::invalid_argument("bad realdex seed key: " + key);
+  }
+  suite::AppSpec spec;
+  spec.seed = std::stoull(args.substr(0, first));
+  spec.target_units = std::stoull(args.substr(first + 1, second - first - 1));
+  spec.real_dex_parts = std::max<size_t>(1, std::stoull(args.substr(second + 1)));
+  spec.name = "fuzz-realdex-" + args;
+  spec.package = "fuzz.r" + args.substr(0, first);
+  spec.full_coverage_style = true;
+
+  SeedInput seed;
+  seed.key = key;
+  seed.has_spec = true;
+  seed.spec = spec;
+  suite::GeneratedApp app = suite::generate_app(spec);
+  seed.apk = std::move(app.apk);
+  seed.configure_runtime = std::move(app.configure_runtime);
+  return seed;
+}
+
 }  // namespace
 
 SeedInput resolve_seed(const std::string& key) {
@@ -100,6 +128,7 @@ SeedInput resolve_seed(const std::string& key) {
   }
   if (scheme == "generated") return resolve_generated(key, args);
   if (scheme == "packed") return resolve_packed(key, args);
+  if (scheme == "realdex") return resolve_realdex(key, args);
   throw std::invalid_argument("unknown seed scheme: " + key);
 }
 
@@ -126,6 +155,14 @@ std::vector<std::string> behavioral_seed_keys() {
   // Behavioral mutation perturbs the AppSpec, so every seed is generated.
   return {
       "generated:711:600", "generated:712:1000", "generated:713:1800",
+  };
+}
+
+std::vector<std::string> realdex_seed_keys() {
+  // Real containers at several sizes; the multidex seeds give kRealPartShuffle
+  // genuine classesN.dex sequences to gap and alias.
+  return {
+      "realdex:721:600:1", "realdex:722:1200:2", "realdex:723:1800:3",
   };
 }
 

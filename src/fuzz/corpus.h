@@ -9,6 +9,9 @@
 //   "generated:<seed>:<units>"         suite::generate_app full-coverage app
 //   "packed:<vendor>/<SampleName>"     a Table I packer preset applied to a
 //                                      DroidBench sample
+//   "realdex:<seed>:<units>:<parts>"   a generated app shipped as a real
+//                                      Android DEX container (classes.dex,
+//                                      multidex when parts > 1)
 #pragma once
 
 #include <functional>
@@ -45,5 +48,7 @@ SeedInput resolve_seed(const std::string& key);
 std::vector<std::string> structural_seed_keys();
 std::vector<std::string> bytecode_seed_keys();
 std::vector<std::string> behavioral_seed_keys();
+// Real-DEX mutation wants real containers, single-dex and multidex.
+std::vector<std::string> realdex_seed_keys();
 
 }  // namespace dexlego::fuzz

@@ -6,6 +6,7 @@
 #include "src/bytecode/insn.h"
 #include "src/bytecode/verify_code.h"
 #include "src/dex/io.h"
+#include "src/dex/real/real_dex.h"
 #include "src/packer/packer.h"
 #include "src/support/bytes.h"
 #include "src/support/hash.h"
@@ -140,6 +141,140 @@ Mutant apply_structural(const SeedInput& seed, std::span<const MutationOp> ops) 
   mutant.configure_runtime = seed.configure_runtime;
   mutant.expect_leak = seed.expect_leak;
   mutant.rejection_ok = true;
+  return mutant;
+}
+
+// --- real-DEX family -------------------------------------------------------
+
+// Real DEX header geometry (docs/DEX_FORMAT.md): the signature starts at 12,
+// the adler32 covers everything from the signature on, and the SHA-1 covers
+// everything after the signature (i.e. from file_size at offset 32).
+constexpr size_t kRealSigOffset = 12;
+constexpr size_t kRealFileSizeOffset = 32;
+constexpr size_t kRealHeaderBytes = 0x70;
+
+// Recomputes file_size, the SHA-1 signature and the adler32 checksum so a
+// mutated body penetrates past both integrity gates into the deep parser —
+// the real-DEX analog of refix_header above.
+void refix_real_header(std::vector<uint8_t>& bytes) {
+  if (bytes.size() < kRealHeaderBytes) return;
+  write_u32_le(bytes, kRealFileSizeOffset, static_cast<uint32_t>(bytes.size()));
+  std::span<const uint8_t> all(bytes);
+  std::array<uint8_t, 20> sig =
+      support::sha1(all.subspan(kRealFileSizeOffset));
+  std::copy(sig.begin(), sig.end(),
+            bytes.begin() + static_cast<ptrdiff_t>(kRealSigOffset));
+  write_u32_le(bytes, kChecksumOffset,
+               support::adler32(all.subspan(kRealSigOffset)));
+}
+
+std::vector<MutationOp> plan_realdex(const SeedInput& seed, support::Rng& rng,
+                                     int max_ops) {
+  const std::string primary = dex::real_classes_entry(0);
+  if (!seed.apk.has_entry(primary)) return {};  // not a real-DEX container
+  size_t size = seed.apk.entry(primary).size();
+  if (size == 0) return {};
+  std::vector<MutationOp> ops;
+  uint64_t count = 1 + rng.below(static_cast<uint64_t>(std::max(1, max_ops)));
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t roll = rng.below(100);
+    MutationOp op;
+    if (roll < 20 && size >= kRealHeaderBytes) {
+      // Header bomb: a hostile section count / offset / map_off (the fields
+      // from file_size through data_off).
+      op.kind = kRealCorruptU32;
+      op.a = kRealFileSizeOffset +
+             4 * rng.below((kRealHeaderBytes - kRealFileSizeOffset) / 4);
+      op.b = hostile_u32(rng, size);
+    } else if (roll < 35 && size >= 4) {
+      // Hostile u32 anywhere: id items, code-item counts, type-list sizes.
+      op.kind = kRealCorruptU32;
+      op.a = rng.below(size - 3);
+      op.b = hostile_u32(rng, size);
+    } else if (roll < 50) {
+      op.kind = kRealByteFlip;
+      op.a = rng.below(size);
+      op.b = 1 + rng.below(255);
+    } else if (roll < 65) {
+      // leb128 bomb: a run of 0x80 continuation bytes, biased into the data
+      // section where the uleb128/sleb128 streams live (class_data, debug
+      // info, string data).
+      op.kind = kRealLebBomb;
+      op.a = size / 2 + rng.below(std::max<uint64_t>(size - size / 2, 1));
+      op.b = 5 + rng.below(12);
+    } else if (roll < 80) {
+      op.kind = kRealTruncate;
+      // Biased toward near-end cuts: deep sections get parsed last.
+      op.a = rng.chance(0.5) && size > 2
+                 ? size - 1 - rng.below(std::min<uint64_t>(size - 1, 64))
+                 : rng.below(size);
+    } else {
+      // Hostile multidex: drop a classesN.dex (gapped sequence) or alias the
+      // primary image into one (duplicate class definitions).
+      op.kind = kRealPartShuffle;
+      op.a = rng.below(3);  // part slot: 0 -> classes2.dex, 1 -> classes3...
+      op.b = rng.below(2);  // 0 drop, 1 duplicate-into
+    }
+    ops.push_back(op);
+  }
+  if (rng.chance(0.7)) ops.push_back(MutationOp{kRealHeaderRefix, 0, 0, 0});
+  return ops;
+}
+
+Mutant apply_realdex(const SeedInput& seed, std::span<const MutationOp> ops) {
+  Mutant mutant;
+  mutant.apk = seed.apk;
+  mutant.configure_runtime = seed.configure_runtime;
+  mutant.expect_leak = seed.expect_leak;
+  mutant.rejection_ok = true;
+  const std::string primary = dex::real_classes_entry(0);
+  if (!mutant.apk.has_entry(primary)) return mutant;
+  std::vector<uint8_t> bytes = mutant.apk.entry(primary);
+  for (const MutationOp& op : ops) {
+    size_t size = bytes.size();
+    switch (op.kind) {
+      case kRealTruncate:
+        bytes.resize(std::min<size_t>(static_cast<size_t>(op.a), size));
+        break;
+      case kRealByteFlip:
+        if (size > 0) {
+          bytes[static_cast<size_t>(op.a) % size] ^=
+              static_cast<uint8_t>(op.b != 0 ? op.b : 1);
+        }
+        break;
+      case kRealCorruptU32:
+        if (size >= 4) {
+          write_u32_le(bytes, static_cast<size_t>(op.a) % (size - 3),
+                       static_cast<uint32_t>(op.b));
+        }
+        break;
+      case kRealLebBomb:
+        if (size > 0) {
+          size_t pos = static_cast<size_t>(op.a) % size;
+          size_t len = std::min<size_t>(
+              std::max<size_t>(static_cast<size_t>(op.b), 1), size - pos);
+          std::fill(bytes.begin() + static_cast<ptrdiff_t>(pos),
+                    bytes.begin() + static_cast<ptrdiff_t>(pos + len), 0x80);
+        }
+        break;
+      case kRealPartShuffle: {
+        std::string name =
+            dex::real_classes_entry(1 + static_cast<size_t>(op.a) % 8);
+        if (op.b == 0) {
+          if (mutant.apk.has_entry(name)) mutant.apk.remove_entry(name);
+        } else {
+          mutant.apk.set_entry(name, bytes);
+        }
+        break;
+      }
+      case kRealHeaderRefix:
+        refix_real_header(bytes);
+        break;
+      default:
+        break;
+    }
+  }
+  mutant.apk.set_entry(primary, std::move(bytes));
   return mutant;
 }
 
@@ -543,6 +678,7 @@ std::string_view family_name(Family family) {
     case Family::kStructural: return "structural";
     case Family::kBytecode: return "bytecode";
     case Family::kBehavioral: return "behavioral";
+    case Family::kRealDex: return "realdex";
   }
   return "unknown";
 }
@@ -551,6 +687,7 @@ std::optional<Family> family_from_name(std::string_view name) {
   if (name == "structural") return Family::kStructural;
   if (name == "bytecode") return Family::kBytecode;
   if (name == "behavioral") return Family::kBehavioral;
+  if (name == "realdex") return Family::kRealDex;
   return std::nullopt;
 }
 
@@ -593,6 +730,19 @@ std::string MutationOp::describe(Family family) const {
         default: os << "behavioral#" << kind; break;
       }
       break;
+    case Family::kRealDex:
+      switch (kind) {
+        case kRealTruncate: os << "truncate dex to " << a; break;
+        case kRealByteFlip: os << "flip dex byte @" << a << " ^ " << b; break;
+        case kRealCorruptU32: os << "dex u32 @" << a << " := " << b; break;
+        case kRealLebBomb: os << "leb bomb @" << a << " x" << b; break;
+        case kRealPartShuffle:
+          os << (b == 0 ? "drop" : "alias") << " multidex part " << a;
+          break;
+        case kRealHeaderRefix: os << "refix dex header"; break;
+        default: os << "realdex#" << kind; break;
+      }
+      break;
   }
   return os.str();
 }
@@ -607,6 +757,7 @@ std::vector<MutationOp> plan_ops(Family family, const SeedInput& seed,
     case Family::kStructural: return plan_structural(seed, rng, max_ops);
     case Family::kBytecode: return plan_bytecode(seed, rng, max_ops);
     case Family::kBehavioral: return plan_behavioral(seed, rng, max_ops);
+    case Family::kRealDex: return plan_realdex(seed, rng, max_ops);
   }
   return {};
 }
@@ -617,6 +768,7 @@ Mutant apply_ops(Family family, const SeedInput& seed,
     case Family::kStructural: return apply_structural(seed, ops);
     case Family::kBytecode: return apply_bytecode(seed, ops);
     case Family::kBehavioral: return apply_behavioral(seed, ops);
+    case Family::kRealDex: return apply_realdex(seed, ops);
   }
   return {};
 }

@@ -1,5 +1,5 @@
 // Structure-aware mutators for the differential fuzzer (docs/FUZZING.md).
-// Three families, each evolving *apps* (unlike src/coverage/fuzzer.h, the
+// Four families, each evolving *apps* (unlike src/coverage/fuzzer.h, the
 // Sapienz analog, which evolves UI event sequences against one fixed app):
 //
 //   kStructural — byte-level mutations of the LDEX container (truncation,
@@ -17,6 +17,11 @@
 //   kBehavioral — recipe-level mutations over suite::AppSpec (guard stacking,
 //     reflection mazes, self-modifying writes, leak flows, nested packing)
 //     producing hostile-but-valid apps.
+//
+//   kRealDex — byte-level mutations of real Android DEX containers
+//     (src/dex/real): leb128 bombs, header/offset corruption, hostile
+//     multidex layouts, with an adler32+SHA-1 refix so mutants reach the
+//     deep parser. The real-DEX counterpart of kStructural.
 //
 // A mutation plan is a sequence of *parameter-baked* MutationOps: applying
 // any subsequence is deterministic and well-defined, which is what the
@@ -41,6 +46,12 @@ enum class Family : uint8_t {
   kStructural = 0,
   kBytecode = 1,
   kBehavioral = 2,
+  // Byte-level mutations of a *real* Android DEX container (src/dex/real):
+  // leb128 bombs, header/section-offset corruption, truncation, hostile
+  // multidex part layouts, plus a header refix that recomputes adler32 AND
+  // the SHA-1 signature so mutants reach the deep parser. Rejection-ok, like
+  // kStructural.
+  kRealDex = 3,
 };
 
 std::string_view family_name(Family family);
@@ -60,6 +71,19 @@ enum BytecodeKind : uint16_t {
   kRegisterRename = 1, // a = method ordinal, b = pc, c = slot<<8 | new reg
   kBranchRetarget = 2, // a = method ordinal, b = pc, c = new target pc
   kGotoLoop = 3,       // a = method ordinal, b = pc, c = backward target pc
+};
+
+enum RealDexKind : uint16_t {
+  kRealTruncate = 0,     // a = new length of classes.dex (clamped)
+  kRealByteFlip = 1,     // a = position, b = xor mask
+  kRealCorruptU32 = 2,   // a = offset, b = little-endian value (header
+                         //   fields, section counts/offsets, id items)
+  kRealLebBomb = 3,      // a = position, b = run length: 0x80 continuation
+                         //   bytes (an unterminated uleb128/sleb128)
+  kRealPartShuffle = 4,  // a = part index, b = 0 drop / 1 duplicate-into —
+                         //   builds gapped or aliased multidex sequences
+  kRealHeaderRefix = 5,  // recompute file_size + SHA-1 + adler32 so the
+                         //   mutation penetrates past the integrity gates
 };
 
 enum BehavioralKind : uint16_t {

@@ -53,7 +53,7 @@ ReplayFile deserialize(std::span<const uint8_t> data) {
 
   ReplayFile file;
   uint8_t family = r.u8();
-  if (family > static_cast<uint8_t>(Family::kBehavioral)) {
+  if (family > static_cast<uint8_t>(Family::kRealDex)) {
     throw ParseError("bad replay family");
   }
   file.family = static_cast<Family>(family);

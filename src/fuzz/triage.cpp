@@ -10,6 +10,7 @@
 #include "src/bytecode/verify_code.h"
 #include "src/core/dexlego.h"
 #include "src/dex/io.h"
+#include "src/dex/real/real_dex.h"
 #include "src/support/bytes.h"
 #include "src/support/hash.h"
 #include "src/support/timer.h"
@@ -162,10 +163,10 @@ OracleReport run_oracle(const Mutant& mutant, const OracleOptions& options) {
   // Stage 1 — parse + verify, the loader hardening gate. Anything but a
   // ParseError / verifier failure here is a crash finding.
   try {
-    if (!mutant.apk.has_entry(dex::Apk::kClassesEntry)) {
+    if (!dex::has_classes(mutant.apk)) {
       return reject("no classes entry");
     }
-    dex::DexFile file = dex::read_dex(mutant.apk.classes());
+    dex::DexFile file = dex::load_classes(mutant.apk);
     dex::VerifyResult vr = bc::verify_dex(file);
     if (!vr.ok()) return reject("verify: " + first_line(vr.message()));
   } catch (const support::ParseError& e) {
@@ -299,6 +300,7 @@ std::vector<std::string> seed_keys_for(Family family) {
     case Family::kStructural: return structural_seed_keys();
     case Family::kBytecode: return bytecode_seed_keys();
     case Family::kBehavioral: return behavioral_seed_keys();
+    case Family::kRealDex: return realdex_seed_keys();
   }
   return {};
 }

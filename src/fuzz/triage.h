@@ -89,7 +89,7 @@ struct CampaignOptions {
   // iteration order.
   size_t threads = 1;
   std::vector<Family> families = {Family::kStructural, Family::kBytecode,
-                                  Family::kBehavioral};
+                                  Family::kBehavioral, Family::kRealDex};
   int max_ops = 5;
   OracleOptions oracle;
   bool minimize = true;

@@ -6,6 +6,7 @@
 #include "src/bytecode/insn.h"
 #include "src/bytecode/remap.h"
 #include "src/dex/io.h"
+#include "src/dex/real/real_dex.h"
 
 namespace dexlego::packer {
 
@@ -168,7 +169,7 @@ dex::DexFile build_shell(const PackerSpec& spec, const std::string& orig_entry,
 std::optional<dex::Apk> pack(const dex::Apk& original, const PackerSpec& spec) {
   if (!spec.available()) return std::nullopt;
 
-  dex::DexFile orig = dex::read_dex(original.classes());
+  dex::DexFile orig = dex::load_classes(original);
   dex::Manifest manifest = original.manifest();
   if (manifest.entry_class.empty()) {
     throw std::invalid_argument("packing requires a manifest entry class");

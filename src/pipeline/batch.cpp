@@ -9,6 +9,7 @@
 #include "src/coverage/force_engine.h"
 #include "src/coverage/tracker.h"
 #include "src/dex/io.h"
+#include "src/dex/real/real_dex.h"
 #include "src/support/hash.h"
 #include "src/support/timer.h"
 
@@ -66,7 +67,7 @@ JobResult run_one(const BatchJob& job, DedupStore& store, bool keep_dex) {
     // Coverage of the *original* image. Meaningless for packed inputs whose
     // classes.ldex is the shell stub, so a parse failure just leaves 0.
     try {
-      dex::DexFile original = dex::read_dex(job.apk.classes());
+      dex::DexFile original = dex::load_classes(job.apk);
       coverage::CoverageTracker::Report report = tracker.report(original);
       result.instruction_coverage = report.instruction_pct();
       result.branch_coverage = report.branch_pct();
@@ -182,7 +183,7 @@ void finalize_force_app(AppState& app, DedupStore& store, bool keep_dex) {
     if (keep_dex) result.dex = dex_bytes;
 
     try {
-      dex::DexFile original = dex::read_dex(app.job->apk.classes());
+      dex::DexFile original = dex::load_classes(app.job->apk);
       coverage::CoverageTracker::Report report =
           app.engine->coverage().report(original);
       result.instruction_coverage = report.instruction_pct();
@@ -210,7 +211,7 @@ void advance_force_app(AppState& app, DedupStore& store, bool keep_dex) {
   if (baseline_wave && app.engine == nullptr) {
     try {
       app.engine = std::make_unique<coverage::ForceEngine>(
-          dex::read_dex(app.job->apk.classes()), app.job->force_options);
+          dex::load_classes(app.job->apk), app.job->force_options);
     } catch (const std::exception& e) {
       app.failed = true;
       app.result.error = std::string("force engine: ") + e.what();

@@ -139,6 +139,30 @@ std::vector<BatchJob> unpacker_baseline_jobs() {
   return jobs;
 }
 
+std::vector<BatchJob> realdex_jobs(size_t count, uint64_t seed0,
+                                   size_t units) {
+  std::vector<BatchJob> jobs;
+  jobs.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    suite::AppSpec spec;
+    spec.seed = seed0 + i;
+    spec.name = "realdex-s" + std::to_string(spec.seed);
+    spec.package = "realdex.s" + std::to_string(spec.seed);
+    spec.target_units = units;
+    spec.full_coverage_style = true;
+    // Every third job ships split multidex so the classesN.dex merge path
+    // runs under the pipeline, not just in unit tests.
+    spec.real_dex_parts = i % 3 == 2 ? 2 + i % 2 : 1;
+
+    BatchJob job;
+    job.name = spec.name;
+    job.scenario = "realdex";
+    job.apk = suite::generate_app(spec).apk;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
 std::vector<BatchJob> fuzz_jobs(size_t count, uint64_t seed0) {
   std::vector<BatchJob> jobs;
   jobs.reserve(count);
@@ -218,6 +242,8 @@ std::vector<BatchJob> all_jobs() {
   more = packed_jobs();
   for (BatchJob& job : more) jobs.push_back(std::move(job));
   more = unpacker_baseline_jobs();
+  for (BatchJob& job : more) jobs.push_back(std::move(job));
+  more = realdex_jobs(6);
   for (BatchJob& job : more) jobs.push_back(std::move(job));
   more = fuzz_jobs(6);
   for (BatchJob& job : more) jobs.push_back(std::move(job));

@@ -42,6 +42,14 @@ std::vector<BatchJob> packed_jobs();
 // just another input scenario.
 std::vector<BatchJob> unpacker_baseline_jobs();
 
+// `count` generated apps shipped as real Android DEX containers
+// (classes.dex instead of classes.ldex; every third job is split multidex —
+// classes.dex + classes2.dex + ...). Exercises the src/dex/real frontend
+// through the whole pipeline; results must be byte-identical to the same
+// apps in LDEX containers (ARCHITECTURE invariant 12).
+std::vector<BatchJob> realdex_jobs(size_t count, uint64_t seed0 = 501,
+                                   size_t units = 1200);
+
 // `count` hostile-but-valid apps from the fuzzer's mutator families
 // (docs/FUZZING.md): behavioral mutants (guard stacking, reflection mazes,
 // self-modifying writes, nested packing) plus verifier-clean bytecode

@@ -1,6 +1,7 @@
 #include "src/runtime/runtime.h"
 
 #include "src/dex/io.h"
+#include "src/dex/real/real_dex.h"
 #include "src/support/log.h"
 
 namespace dexlego::rt {
@@ -33,8 +34,13 @@ const NativeFn* Runtime::find_builtin(const std::string& class_descriptor,
 
 void Runtime::install(dex::Apk apk) {
   apk_ = std::move(apk);
-  dex::DexFile file = dex::read_dex(apk_->classes());
-  linker_.register_dex(std::move(file), dex::Apk::kClassesEntry);
+  // Whichever container the app ships — classes.ldex or real classes.dex
+  // (multidex parts merged) — the linker sees one in-memory model.
+  dex::DexFile file = dex::load_classes(*apk_);
+  const char* entry = apk_->has_entry(dex::Apk::kClassesEntry)
+                          ? dex::Apk::kClassesEntry
+                          : "classes.dex";
+  linker_.register_dex(std::move(file), entry);
 }
 
 ExecOutcome Runtime::launch() {
@@ -213,7 +219,8 @@ std::optional<std::string> Runtime::fs_read(const std::string& path) const {
 
 const DexImage& Runtime::load_dex_buffer(std::span<const uint8_t> bytes,
                                          std::string source) {
-  dex::DexFile file = dex::read_dex(bytes);
+  // Unpackers hand over whatever they decrypted — LDEX or real DEX.
+  dex::DexFile file = dex::load_any(bytes);
   return linker_.register_dex(std::move(file), std::move(source));
 }
 

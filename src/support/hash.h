@@ -1,7 +1,9 @@
-// Checksums used by the LDEX container (adler32, mirroring real DEX headers)
-// and fast non-cryptographic hashing for dedup of collection trees.
+// Checksums used by the LDEX container (adler32, mirroring real DEX headers),
+// SHA-1 for the real-DEX header signature field, and fast non-cryptographic
+// hashing for dedup of collection trees.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <string_view>
@@ -10,6 +12,9 @@ namespace dexlego::support {
 
 // Adler-32 as used in the real DEX header checksum field.
 uint32_t adler32(std::span<const uint8_t> data);
+
+// SHA-1 as used in the real DEX header signature field (20 bytes).
+std::array<uint8_t, 20> sha1(std::span<const uint8_t> data);
 
 // FNV-1a 64-bit, used to fingerprint instruction arrays / collection trees.
 uint64_t fnv1a(std::span<const uint8_t> data);

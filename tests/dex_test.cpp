@@ -1,9 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <span>
+#include <vector>
+
 #include "src/dex/archive.h"
 #include "src/dex/builder.h"
 #include "src/dex/dex.h"
 #include "src/dex/io.h"
+#include "src/dex/real/real_dex.h"
 #include "src/dex/verify.h"
 #include "src/support/bytes.h"
 #include "src/support/hash.h"
@@ -313,6 +319,117 @@ TEST(DexVerifyHardening, DuplicateMethodDefinitionIsAnError) {
   ASSERT_FALSE(vr.ok());
   EXPECT_NE(vr.message().find("duplicate method definition"),
             std::string::npos);
+}
+
+// --- real-DEX hardening (src/dex/real): hostile encodings fail closed ------
+//
+// Each case corrupts a VALID real-DEX image, then re-fixes file_size, SHA-1
+// and adler32 so the corruption reaches the deep parser instead of dying at
+// the integrity gates — the same check_count discipline the LDEX reader
+// pins, ported to the uleb128/offset-table format.
+
+namespace {
+
+uint32_t read_u32_at(const std::vector<uint8_t>& bytes, size_t offset) {
+  return static_cast<uint32_t>(bytes[offset]) |
+         static_cast<uint32_t>(bytes[offset + 1]) << 8 |
+         static_cast<uint32_t>(bytes[offset + 2]) << 16 |
+         static_cast<uint32_t>(bytes[offset + 3]) << 24;
+}
+
+void write_u32_at(std::vector<uint8_t>& bytes, size_t offset, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    bytes[offset + static_cast<size_t>(i)] =
+        static_cast<uint8_t>(value >> (8 * i));
+  }
+}
+
+// Recomputes file_size, signature and checksum after a corruption.
+void refix_real(std::vector<uint8_t>& bytes) {
+  write_u32_at(bytes, 32, static_cast<uint32_t>(bytes.size()));
+  std::span<const uint8_t> all(bytes);
+  std::array<uint8_t, 20> sig = support::sha1(all.subspan(32));
+  std::copy(sig.begin(), sig.end(), bytes.begin() + 12);
+  write_u32_at(bytes, 8, support::adler32(all.subspan(12)));
+}
+
+std::vector<uint8_t> valid_real_dex() {
+  return emit_real(make_sample_file());
+}
+
+}  // namespace
+
+TEST(RealDexHardening, PoolCountOverflowFailsCleanly) {
+  // One header field at a time: map_off, the string/type/proto/field/method/
+  // class counts, and class_defs_off.
+  for (size_t offset : {52u, 56u, 64u, 72u, 80u, 88u, 96u, 100u}) {
+    std::vector<uint8_t> bytes = valid_real_dex();
+    write_u32_at(bytes, offset, 0xffffffffu);
+    refix_real(bytes);
+    EXPECT_THROW(parse_real(bytes), support::ParseError) << "offset " << offset;
+  }
+}
+
+TEST(RealDexHardening, Leb128BombInClassDataFailsCleanly) {
+  std::vector<uint8_t> bytes = valid_real_dex();
+  // class_def[0].class_data_off lives at class_defs_off + 24; stomp the
+  // class_data stream it points at with unterminated continuation bytes.
+  uint32_t class_defs_off = read_u32_at(bytes, 0x64);
+  uint32_t class_data_off = read_u32_at(bytes, class_defs_off + 24);
+  ASSERT_NE(class_data_off, 0u);
+  ASSERT_LT(class_data_off + 6, bytes.size());
+  for (size_t i = 0; i < 6; ++i) bytes[class_data_off + i] = 0x80;
+  refix_real(bytes);
+  EXPECT_THROW(parse_real(bytes), support::ParseError);
+}
+
+TEST(RealDexHardening, AliasedStringDataOffsetsFailCleanly) {
+  std::vector<uint8_t> bytes = valid_real_dex();
+  uint32_t string_ids_off = read_u32_at(bytes, 0x3c);
+  ASSERT_GE(read_u32_at(bytes, 0x38), 2u);  // need two strings to alias
+  // string_id[1] -> the same string_data as string_id[0]: the offsets are no
+  // longer strictly increasing, which the parser treats as aliasing.
+  write_u32_at(bytes, string_ids_off + 4, read_u32_at(bytes, string_ids_off));
+  refix_real(bytes);
+  EXPECT_THROW(parse_real(bytes), support::ParseError);
+}
+
+TEST(RealDexHardening, TruncationAtEveryHeaderBoundaryFailsCleanly) {
+  std::vector<uint8_t> bytes = valid_real_dex();
+  for (size_t keep : {size_t{0}, size_t{8}, size_t{0x6f}, size_t{0x70},
+                      bytes.size() / 2}) {
+    std::vector<uint8_t> cut(bytes.begin(),
+                             bytes.begin() + static_cast<ptrdiff_t>(keep));
+    EXPECT_THROW(parse_real(cut), support::ParseError) << "keep " << keep;
+    if (cut.size() >= 0x70) {
+      // Even with consistent integrity fields the sections now dangle.
+      refix_real(cut);
+      EXPECT_THROW(parse_real(cut), support::ParseError) << "refixed " << keep;
+    }
+  }
+}
+
+TEST(RealDexHardening, ChecksumAndSignatureGatesHold) {
+  std::vector<uint8_t> bytes = valid_real_dex();
+  // Body flip without refix: the adler32 gate trips first.
+  std::vector<uint8_t> flipped = bytes;
+  flipped[flipped.size() - 1] ^= 0x5a;
+  EXPECT_THROW(parse_real(flipped), support::ParseError);
+  // Consistent checksum but stale signature: the SHA-1 gate trips.
+  std::vector<uint8_t> resigned = flipped;
+  std::span<const uint8_t> all(resigned);
+  write_u32_at(resigned, 8, support::adler32(all.subspan(12)));
+  EXPECT_THROW(parse_real(resigned), support::ParseError);
+  // Sanity: the uncorrupted image still parses — the gates, not the
+  // payload, are what rejected above.
+  EXPECT_NO_THROW(parse_real(valid_real_dex()));
+}
+
+TEST(RealDexHardening, WrongMagicIsNotRealDex) {
+  std::vector<uint8_t> bytes = valid_real_dex();
+  bytes[3] = 'X';
+  EXPECT_FALSE(is_real_dex(bytes));
+  EXPECT_THROW(load_any(bytes), support::ParseError);
 }
 
 }  // namespace

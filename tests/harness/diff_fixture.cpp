@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "src/dex/io.h"
+#include "src/dex/real/real_dex.h"
 
 namespace dexlego::harness {
 namespace {
@@ -92,9 +93,9 @@ DiffResult run_differential(const dex::Apk& apk, const DiffOptions& options) {
       run_and_trace(diff.reveal.revealed_apk, options.configure_runtime);
 
   if (options.check_containment) {
-    dex::DexFile original_dex = dex::read_dex(apk.classes());
+    dex::DexFile original_dex = dex::load_classes(apk);
     dex::DexFile revealed_dex =
-        dex::read_dex(diff.reveal.revealed_apk.classes());
+        dex::load_classes(diff.reveal.revealed_apk);
     diff.containment = core::check_containment(original_dex, revealed_dex);
     diff.containment_checked = true;
   }

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <span>
@@ -528,14 +529,15 @@ double effective_cpus() {
   return cpus;
 }
 
-TEST(BatchPipeline, EightThreadSpeedupOverSequential) {
-  // The acceptance bar: >= 3x at 8 threads over the full DroidBench set.
-  // Only meaningful where 8 CPUs are actually usable — CI containers are
-  // often pinned to 1 core or quota-throttled, where parallel wall time
-  // equals sequential no matter the code.
-  if (effective_cpus() < 8.0) {
-    GTEST_SKIP() << "needs >= 8 usable CPUs, have " << effective_cpus();
-  }
+TEST(BatchPipeline, ParallelScalingEfficiency) {
+  // Always-run scaling check (this used to GTEST_SKIP below 8 usable CPUs,
+  // which meant quota-throttled CI never measured anything). The thread
+  // count adapts to what the container actually grants, the hard bar only
+  // asserts that threading is not a pessimization, and the measured speedup
+  // is always reported so regressions are visible in the log even where the
+  // environment can't support a strict multiple.
+  const size_t threads = static_cast<size_t>(
+      std::clamp(effective_cpus(), 2.0, 8.0));
   // Replicate to lengthen the run and dampen timing noise.
   std::vector<pipeline::BatchJob> jobs =
       pipeline::replicate_jobs(pipeline::droidbench_jobs(), 4);
@@ -543,12 +545,11 @@ TEST(BatchPipeline, EightThreadSpeedupOverSequential) {
   sequential.threads = 1;
   sequential.keep_dex = false;
   pipeline::BatchOptions parallel;
-  parallel.threads = 8;
+  parallel.threads = threads;
   parallel.keep_dex = false;
 
   // Wall-clock ratios are load-sensitive even though the suite is marked
-  // RUN_SERIAL in CTest, so take the best of a few attempts and only fail
-  // when none reaches the bar.
+  // RUN_SERIAL in CTest, so take the best of a few attempts.
   double best = 0.0;
   double seq_ms = 0.0, par_ms = 0.0;
   for (int attempt = 0; attempt < 3 && best < 3.0; ++attempt) {
@@ -556,8 +557,22 @@ TEST(BatchPipeline, EightThreadSpeedupOverSequential) {
     par_ms = pipeline::run_batch(jobs, parallel).fleet.wall_ms;
     if (par_ms > 0.0) best = std::max(best, seq_ms / par_ms);
   }
-  EXPECT_GE(best, 3.0) << "best of 3: sequential " << seq_ms
-                       << " ms vs 8-thread " << par_ms << " ms";
+  const double efficiency = best / static_cast<double>(threads);
+  RecordProperty("threads", static_cast<int>(threads));
+  RecordProperty("speedup_x100", static_cast<int>(best * 100));
+  std::printf(
+      "[ scaling ] %zu threads: best speedup %.2fx over sequential "
+      "(%.1f ms vs %.1f ms, %.0f%% parallel efficiency)\n",
+      threads, best, seq_ms, par_ms, efficiency * 100.0);
+  // Threading must never LOSE to sequential by 2x; on machines with >= 8
+  // real cores the paper-style bar (>= 3x at 8 threads) still applies.
+  EXPECT_GE(best, 0.5) << "parallel run slower than sequential: " << seq_ms
+                       << " ms vs " << par_ms << " ms at " << threads
+                       << " threads";
+  if (effective_cpus() >= 8.0) {
+    EXPECT_GE(best, 3.0) << "best of 3: sequential " << seq_ms
+                         << " ms vs 8-thread " << par_ms << " ms";
+  }
 }
 
 }  // namespace

@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <variant>
 #include <vector>
@@ -13,6 +15,7 @@
 #include "src/bytecode/insn.h"
 #include "src/bytecode/verify_code.h"
 #include "src/dex/io.h"
+#include "src/dex/real/leb128.h"
 #include "src/dex/verify.h"
 #include "src/fuzz/corpus.h"
 #include "src/fuzz/mutator.h"
@@ -158,6 +161,106 @@ TEST(BytesProperty, TruncationRaisesParseError) {
   }
 }
 
+// --- leb128 codecs (src/dex/real/leb128.h): the real-DEX wire format ---
+
+// Boundary values where the encoded width changes, plus both extremes.
+const uint32_t kUlebBoundaries[] = {
+    0,          1,          0x7f,       0x80,       0x3fff,     0x4000,
+    0x1fffff,   0x200000,   0xfffffff,  0x10000000, 0xfffffffe, 0xffffffff};
+
+TEST(Leb128Property, UlebBoundariesRoundTripAtMinimalWidth) {
+  for (uint32_t value : kUlebBoundaries) {
+    ByteWriter w;
+    dex::real::write_uleb128(w, value);
+    std::vector<uint8_t> bytes = w.take();
+    EXPECT_EQ(bytes.size(), dex::real::uleb128_size(value)) << value;
+    ByteReader r(bytes);
+    EXPECT_EQ(dex::real::read_uleb128(r), value);
+    EXPECT_EQ(r.remaining(), 0u) << value;
+  }
+}
+
+TEST(Leb128Property, SlebBoundariesRoundTrip) {
+  const int32_t values[] = {0,       1,      -1,     63,         64,
+                            -64,     -65,    8191,   8192,       -8192,
+                            -8193,   1 << 20, -(1 << 20), INT32_MAX, INT32_MIN};
+  for (int32_t value : values) {
+    ByteWriter w;
+    dex::real::write_sleb128(w, value);
+    std::vector<uint8_t> bytes = w.take();
+    ByteReader r(bytes);
+    EXPECT_EQ(dex::real::read_sleb128(r), value);
+    EXPECT_EQ(r.remaining(), 0u) << value;
+  }
+}
+
+TEST(Leb128Property, Uleb128p1EncodesNoIndexAsZero) {
+  // -1 is NO_INDEX in debug info; the p1 bias must make it a single 0 byte.
+  ByteWriter w;
+  dex::real::write_uleb128p1(w, -1);
+  std::vector<uint8_t> bytes = w.take();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0u);
+  for (int32_t value : {-1, 0, 1, 126, 127, 128, INT32_MAX - 1}) {
+    ByteWriter pw;
+    dex::real::write_uleb128p1(pw, value);
+    std::vector<uint8_t> pb = pw.take();
+    ByteReader r(pb);
+    EXPECT_EQ(dex::real::read_uleb128p1(r), value);
+  }
+}
+
+class Leb128RandomProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Leb128RandomProperty, RandomValuesRoundTrip) {
+  Rng rng(GetParam());
+  ByteWriter w;
+  std::vector<uint32_t> unsigned_values;
+  std::vector<int32_t> signed_values;
+  for (int i = 0; i < 200; ++i) {
+    // Skew toward small values (the common case in real files) but cover the
+    // full 32-bit range too.
+    uint32_t u = rng.chance(0.5) ? static_cast<uint32_t>(rng.below(1 << 14))
+                                 : static_cast<uint32_t>(rng.next());
+    int32_t s = static_cast<int32_t>(rng.next());
+    unsigned_values.push_back(u);
+    signed_values.push_back(s);
+    dex::real::write_uleb128(w, u);
+    dex::real::write_sleb128(w, s);
+  }
+  std::vector<uint8_t> bytes = w.take();
+  ByteReader r(bytes);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(dex::real::read_uleb128(r), unsigned_values[static_cast<size_t>(i)]);
+    EXPECT_EQ(dex::real::read_sleb128(r), signed_values[static_cast<size_t>(i)]);
+  }
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Leb128RandomProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Leb128Property, LengthBombsFailClosed) {
+  // Five 0x80 continuation bytes: more than a 32-bit uleb128 can carry.
+  const uint8_t bomb[] = {0x80, 0x80, 0x80, 0x80, 0x80, 0x01};
+  {
+    ByteReader r(bomb);
+    EXPECT_THROW(dex::real::read_uleb128(r), ParseError);
+  }
+  {
+    ByteReader r(bomb);
+    EXPECT_THROW(dex::real::read_sleb128(r), ParseError);
+  }
+  // A fifth byte carrying more than the top 4 bits overflows 32 bits.
+  const uint8_t overflow[] = {0xff, 0xff, 0xff, 0xff, 0x1f};
+  ByteReader r(overflow);
+  EXPECT_THROW(dex::real::read_uleb128(r), ParseError);
+  // Truncated stream: continuation bit set but no next byte.
+  const uint8_t truncated[] = {0x80};
+  ByteReader t(truncated);
+  EXPECT_THROW(dex::real::read_uleb128(t), ParseError);
+}
+
 // --- hash stability: pinned vectors guard the on-disk formats ---
 
 TEST(HashStability, Adler32PinnedVectors) {
@@ -170,6 +273,37 @@ TEST(HashStability, Adler32PinnedVectors) {
   // zlib.adler32).
   EXPECT_EQ(adler32(ramp), 0xbbba8772u);
   EXPECT_EQ(adler32(std::span(ramp).subspan(1)), 0xbbb98772u);
+}
+
+TEST(HashStability, Sha1PinnedVectors) {
+  // FIPS 180-1 test vectors; the real-DEX header signature depends on these.
+  auto hex = [](const std::array<uint8_t, 20>& digest) {
+    std::string out;
+    for (uint8_t byte : digest) {
+      char buf[3];
+      std::snprintf(buf, sizeof(buf), "%02x", byte);
+      out += buf;
+    }
+    return out;
+  };
+  EXPECT_EQ(hex(sha1({})), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  const uint8_t abc[] = {'a', 'b', 'c'};
+  EXPECT_EQ(hex(sha1(abc)), "a9993e364706816aba3e25717850c26c9cd0d89d");
+  // Multi-block input (> 64 bytes) exercises the chunking path.
+  std::vector<uint8_t> million(1000, 'a');
+  EXPECT_EQ(hex(sha1(million)), "291e9a6c66994949b57ba5e650361e98fc36b1ba");
+}
+
+TEST(HashStability, Adler32MatchesRealDexChecksumRule) {
+  // The header checksum covers everything from the signature on; shifting
+  // the window by one byte must change the digest (anti-aliasing).
+  std::vector<uint8_t> file(256);
+  for (size_t i = 0; i < file.size(); ++i) file[i] = static_cast<uint8_t>(i * 7);
+  uint32_t whole = adler32(std::span<const uint8_t>(file).subspan(12));
+  uint32_t shifted = adler32(std::span<const uint8_t>(file).subspan(13));
+  EXPECT_NE(whole, shifted);
+  // Stable across calls (no hidden state).
+  EXPECT_EQ(whole, adler32(std::span<const uint8_t>(file).subspan(12)));
 }
 
 TEST(HashStability, Fnv1aPinnedVectors) {
