@@ -1,20 +1,28 @@
-// Interpreter dispatch throughput: the predecoded cached path
-// (DispatchMode::kCached) vs the decode-every-step fallback
-// (DispatchMode::kBaseline) over two workloads:
+// Interpreter dispatch throughput across the three tiers — decode-every-step
+// (DispatchMode::kBaseline, reported as "fallback"), the predecoded cached
+// path ("cached") and the direct-threaded + superinstruction path
+// ("threaded") — over two workloads:
 //
 //   hot_loop — a tight loop exercising every inline cache the cached path
-//              adds: const-string (interned literal cache), sget/sput
-//              (field cache), invoke-static (method cache), invoke-virtual
-//              (monomorphic call-site cache), plus arithmetic and branches;
+//              adds (const-string, sget/sput, invoke-static, monomorphic
+//              invoke-virtual) plus a dispatch-heavy stretch of the three
+//              fusable pairs (cmp+branch, const+move, iget+invoke) the
+//              threaded tier compiles into superinstructions;
 //   self_mod — the same loop with a native patching a const literal every
-//              iteration through RtMethod::patch_code_unit, measuring the
-//              cost of per-iteration targeted invalidation.
+//              iteration through RtMethod::patch_code_unit, measuring
+//              per-iteration targeted invalidation (fused-span splitting
+//              included).
 //
 // Each line prefixed BENCH_JSON is machine-readable; ci.sh collects them
-// into BENCH_interp.json and relies on the exit code: non-zero when the
-// cached path is slower than the fallback on hot_loop (--min-speedup).
+// into BENCH_interp.json and relies on the exit code: non-zero when any
+// workload's tier ladder regresses (ARCHITECTURE invariant 13 — every tier
+// must beat the one below it).
 //
 // Usage: interp_dispatch [--loops N] [--reps R] [--min-speedup X]
+//                        [--min-threaded-speedup Y] [--min-ladder Z]
+//   --min-speedup           hot_loop cached vs fallback gate
+//   --min-threaded-speedup  hot_loop threaded vs cached gate
+//   --min-ladder            self_mod gate for both adjacent-tier ratios
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,11 +48,13 @@ struct Workload {
   bool self_mod = false;
 };
 
-// Lbench/Hot; with a spin(n) loop touching every cached resolution kind.
+// Lbench/Hot; with a spin(n) loop touching every cached resolution kind and
+// all three superinstruction families.
 Workload build_hot_loop(bool self_mod) {
   dex::DexBuilder b;
   const std::string cls = "Lbench/Hot;";
   uint32_t acc = b.intern_field(cls, "I", "acc");
+  uint32_t fld = b.intern_field(cls, "I", "f");
   uint32_t step_m = b.intern_method(cls, "step", "I", {"I"});
   uint32_t vstep_m = b.intern_method(cls, "vstep", "I", {"I"});
   uint32_t bump_m = b.intern_method(cls, "bump", "V", {});
@@ -52,6 +62,7 @@ Workload build_hot_loop(bool self_mod) {
 
   b.start_class(cls);
   b.add_static_field("acc", "I", dex::DexBuilder::int_value(0));
+  b.add_instance_field("f", "I");
   {
     MethodAssembler as(2, 1);  // static step(v1) -> v1 + 3
     as.add_lit8(0, 1, 3);
@@ -66,13 +77,13 @@ Workload build_hot_loop(bool self_mod) {
   }
   if (self_mod) b.add_native_method("bump", "V", {});
   {
-    // virtual spin(this v6, n v7): the measured loop.
-    MethodAssembler as(8, 2);
+    // virtual spin(this v8, n v9): the measured loop.
+    MethodAssembler as(10, 2);
     auto loop = as.make_label();
     auto done = as.make_label();
     as.const16(0, 0);  // i
     as.bind(loop);
-    as.if_test(Op::kIfGe, 0, 7, done);
+    as.if_test(Op::kIfGe, 0, 9, done);
     as.const_string(1, static_cast<uint16_t>(key));
     as.sget(2, static_cast<uint16_t>(acc));
     as.const16(3, 7);  // self_mod: bump() rewrites this literal
@@ -80,9 +91,21 @@ Workload build_hot_loop(bool self_mod) {
     as.sput(2, static_cast<uint16_t>(acc));
     as.invoke(Op::kInvokeStatic, static_cast<uint16_t>(step_m), {0});
     as.move_result(4);
-    as.invoke(Op::kInvokeVirtual, static_cast<uint16_t>(vstep_m), {6, 4});
+    as.invoke(Op::kInvokeVirtual, static_cast<uint16_t>(vstep_m), {8, 4});
     as.move_result(4);
-    if (self_mod) as.invoke(Op::kInvokeVirtual, static_cast<uint16_t>(bump_m), {6});
+    // Fusable stretch — a dispatch-heavy unrolled run of the cmp+branch and
+    // const+move superinstruction families (the threaded tier executes each
+    // pair as one dispatch), plus one iget+invoke pair per iteration.
+    for (int u = 0; u < 64; ++u) {
+      as.binop(Op::kCmp, 6, 0, 9);       // cmp+branch head (i < n in body...)
+      as.if_testz(Op::kIfGez, 6, done);  // ...so this tail never takes
+      as.const16(7, 5);                  // const+move pair
+      as.move(6, 7);
+    }
+    as.iget(7, 8, static_cast<uint16_t>(fld));  // iget+invoke pair
+    as.invoke(Op::kInvokeStatic, static_cast<uint16_t>(step_m), {7});
+    as.move_result(7);
+    if (self_mod) as.invoke(Op::kInvokeVirtual, static_cast<uint16_t>(bump_m), {8});
     as.add_lit8(0, 0, 1);
     as.goto_(loop);
     as.bind(done);
@@ -106,9 +129,9 @@ struct Measurement {
 };
 
 // One live runtime with the workload installed and warmed, ready to be
-// measured repeatedly. Keeping both modes' runners alive and alternating
+// measured repeatedly. Keeping all modes' runners alive and alternating
 // measurements de-correlates machine noise from the mode (a noise burst
-// hits both sides instead of whichever mode ran second).
+// hits every side instead of whichever mode ran last).
 struct Runner {
   std::unique_ptr<rt::Runtime> runtime;
   rt::RtMethod* spin = nullptr;
@@ -143,8 +166,8 @@ Runner make_runner(const Workload& w, rt::DispatchMode mode) {
           rt::RtClass* cls = ctx.runtime.linker().find_loaded("Lbench/Hot;");
           if (cls == nullptr) return rt::Value::Null();
           rt::RtMethod* spin = cls->find_declared("spin");
-          // const/16 v3 is the 8th code unit pair in the loop; locate it by
-          // scanning for the opcode with a=3 once, then patch its literal.
+          // const/16 v3 is patched every call; locate it by scanning for the
+          // opcode with a=3 once, then patch its literal.
           static thread_local size_t lit_pc = 0;
           if (lit_pc == 0 && spin != nullptr && spin->code) {
             std::span<const uint16_t> insns(spin->code->insns);
@@ -176,31 +199,57 @@ Runner make_runner(const Workload& w, rt::DispatchMode mode) {
       runtime.heap().new_instance(cls, cls->descriptor, cls->instance_slot_count);
   r.spin = cls->find_declared("spin");
 
-  // Warm-up call so both modes measure steady state (caches built, classes
-  // initialized) rather than first-run setup.
+  // Warm-up call so all modes measure steady state (caches built, classes
+  // initialized, field resolutions memoized so fused fast paths arm) rather
+  // than first-run setup.
   runtime.interp().invoke(*r.spin, {rt::Value::Ref(r.self), rt::Value::Int(100)});
   return r;
 }
 
-// Best-of-`reps`, alternating the two runners each rep.
-std::pair<Measurement, Measurement> measure_pair(Runner& a, Runner& b,
-                                                 int loops, int reps) {
-  Measurement best_a, best_b;
-  for (int i = 0; i < reps; ++i) {
-    Measurement ma = a.measure(loops);
-    Measurement mb = b.measure(loops);
-    if (best_a.wall_ms == 0.0 || ma.insns_per_sec() > best_a.insns_per_sec()) {
-      best_a = ma;
-    }
-    if (best_b.wall_ms == 0.0 || mb.insns_per_sec() > best_b.insns_per_sec()) {
-      best_b = mb;
-    }
+const char* mode_name(rt::DispatchMode mode) {
+  switch (mode) {
+    case rt::DispatchMode::kCached:
+      return "cached";
+    case rt::DispatchMode::kThreaded:
+      return "threaded";
+    case rt::DispatchMode::kBaseline:
+      break;
   }
-  return {best_a, best_b};
+  return "fallback";
 }
 
-const char* mode_name(rt::DispatchMode mode) {
-  return mode == rt::DispatchMode::kCached ? "cached" : "fallback";
+constexpr rt::DispatchMode kTierLadder[] = {rt::DispatchMode::kBaseline,
+                                            rt::DispatchMode::kCached,
+                                            rt::DispatchMode::kThreaded};
+
+// Per-tier measurements for one workload, bottom of the ladder first.
+struct TierResults {
+  Measurement m[3];
+  double cached_vs_fallback() const {
+    return m[0].insns_per_sec() > 0.0
+               ? m[1].insns_per_sec() / m[0].insns_per_sec()
+               : 0.0;
+  }
+  double threaded_vs_cached() const {
+    return m[1].insns_per_sec() > 0.0
+               ? m[2].insns_per_sec() / m[1].insns_per_sec()
+               : 0.0;
+  }
+};
+
+// Best-of-`reps`, alternating the three runners each rep.
+TierResults measure_tiers(Runner* runners, int loops, int reps) {
+  TierResults best;
+  for (int i = 0; i < reps; ++i) {
+    for (int t = 0; t < 3; ++t) {
+      Measurement m = runners[t].measure(loops);
+      if (best.m[t].wall_ms == 0.0 ||
+          m.insns_per_sec() > best.m[t].insns_per_sec()) {
+        best.m[t] = m;
+      }
+    }
+  }
+  return best;
 }
 
 void report(const char* workload, rt::DispatchMode mode, int loops,
@@ -218,12 +267,40 @@ void report(const char* workload, rt::DispatchMode mode, int loops,
       static_cast<unsigned long long>(m.steps), m.wall_ms, m.insns_per_sec());
 }
 
+// Workload summary line + ladder gate: cached must beat fallback by
+// min_cached, threaded must beat cached by min_threaded. Returns pass.
+bool summarize(const char* workload, const TierResults& r, double min_cached,
+               double min_threaded) {
+  double cf = r.cached_vs_fallback();
+  double tc = r.threaded_vs_cached();
+  bool pass = cf >= min_cached && tc >= min_threaded;
+  std::printf(
+      "\n%s speedups: cached vs fallback %.2fx (min %.2f), threaded vs "
+      "cached %.2fx (min %.2f)\n",
+      workload, cf, min_cached, tc, min_threaded);
+  std::printf(
+      "BENCH_JSON {\"bench\":\"interp_dispatch\",\"workload\":\"%s\","
+      "\"speedup_cached_vs_fallback\":%.3f,\"speedup_threaded_vs_cached\":"
+      "%.3f,\"min_required\":%.2f,\"min_threaded_required\":%.2f,"
+      "\"pass\":%s}\n",
+      workload, cf, tc, min_cached, min_threaded, pass ? "true" : "false");
+  if (!pass) {
+    std::fprintf(stderr,
+                 "FAIL: %s tier ladder regressed: cached %.2fx (>= %.2f), "
+                 "threaded %.2fx (>= %.2f)\n",
+                 workload, cf, min_cached, tc, min_threaded);
+  }
+  return pass;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   int loops = 300000;
   int reps = 3;
-  double min_speedup = 1.0;
+  double min_speedup = 1.0;           // hot_loop: cached vs fallback
+  double min_threaded_speedup = 1.0;  // hot_loop: threaded vs cached
+  double min_ladder = 1.0;            // self_mod: both adjacent ratios
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--loops") == 0 && i + 1 < argc) {
       loops = std::atoi(argv[++i]);
@@ -231,48 +308,41 @@ int main(int argc, char** argv) {
       reps = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--min-speedup") == 0 && i + 1 < argc) {
       min_speedup = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--min-threaded-speedup") == 0 &&
+               i + 1 < argc) {
+      min_threaded_speedup = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--min-ladder") == 0 && i + 1 < argc) {
+      min_ladder = std::atof(argv[++i]);
     }
   }
   if (loops < 1) loops = 1;
   if (reps < 1) reps = 1;
 
-  bench::print_header("Interpreter dispatch (cached vs decode-every-step)");
+  bench::print_header(
+      "Interpreter dispatch (fallback vs cached vs threaded)");
   bench::print_row({"Workload", "Mode", "Steps", "Wall ms", "Insns/sec"},
                    {12, 10, 12, 10, 14});
 
   Workload hot = build_hot_loop(false);
-  Runner hot_cached = make_runner(hot, rt::DispatchMode::kCached);
-  Runner hot_fallback = make_runner(hot, rt::DispatchMode::kBaseline);
-  auto [cached, fallback] = measure_pair(hot_cached, hot_fallback, loops, reps);
-  report("hot_loop", rt::DispatchMode::kCached, loops, cached);
-  report("hot_loop", rt::DispatchMode::kBaseline, loops, fallback);
+  Runner hot_runners[3];
+  for (int t = 0; t < 3; ++t) hot_runners[t] = make_runner(hot, kTierLadder[t]);
+  TierResults hot_r = measure_tiers(hot_runners, loops, reps);
+  for (int t = 0; t < 3; ++t) {
+    report("hot_loop", kTierLadder[t], loops, hot_r.m[t]);
+  }
 
-  double speedup = fallback.insns_per_sec() > 0.0
-                       ? cached.insns_per_sec() / fallback.insns_per_sec()
-                       : 0.0;
-  std::printf("\nhot_loop speedup (cached vs fallback): %.2fx\n", speedup);
-  std::printf(
-      "BENCH_JSON {\"bench\":\"interp_dispatch\",\"workload\":\"hot_loop\","
-      "\"speedup_cached_vs_fallback\":%.3f,\"min_required\":%.2f,"
-      "\"pass\":%s}\n",
-      speedup, min_speedup, speedup >= min_speedup ? "true" : "false");
-
-  // Self-modifying variant: announced per-iteration patches. Reported for
-  // the trajectory; not gated (invalidations are supposed to cost).
+  // Self-modifying variant: announced per-iteration patches, including the
+  // fused-span split every patch forces in the threaded tier.
   int sm_loops = loops / 10 > 0 ? loops / 10 : 1;
   Workload sm = build_hot_loop(true);
-  Runner sm_cached_r = make_runner(sm, rt::DispatchMode::kCached);
-  Runner sm_fallback_r = make_runner(sm, rt::DispatchMode::kBaseline);
-  auto [sm_cached, sm_fallback] =
-      measure_pair(sm_cached_r, sm_fallback_r, sm_loops, reps);
-  report("self_mod", rt::DispatchMode::kCached, sm_loops, sm_cached);
-  report("self_mod", rt::DispatchMode::kBaseline, sm_loops, sm_fallback);
-
-  if (speedup < min_speedup) {
-    std::fprintf(stderr,
-                 "FAIL: cached dispatch %.2fx vs fallback (required >= %.2fx)\n",
-                 speedup, min_speedup);
-    return 1;
+  Runner sm_runners[3];
+  for (int t = 0; t < 3; ++t) sm_runners[t] = make_runner(sm, kTierLadder[t]);
+  TierResults sm_r = measure_tiers(sm_runners, sm_loops, reps);
+  for (int t = 0; t < 3; ++t) {
+    report("self_mod", kTierLadder[t], sm_loops, sm_r.m[t]);
   }
-  return 0;
+
+  bool ok = summarize("hot_loop", hot_r, min_speedup, min_threaded_speedup);
+  ok = summarize("self_mod", sm_r, min_ladder, min_ladder) && ok;
+  return ok ? 0 : 1;
 }

@@ -53,17 +53,37 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
   --threads 2 --compare-sequential --quiet
 
 # --- interpreter dispatch bench smoke --------------------------------------
-# Runs the cached-vs-decode-every-step dispatch bench and a single-repeat
-# pipeline throughput run, collecting their BENCH_JSON lines into
-# BENCH_interp.json (one JSON object per line — the perf trajectory file).
-# interp_dispatch exits non-zero when the cached path is slower than the
-# fallback (--min-speedup defaults to 1.0), which fails this gate.
+# Runs the three-tier dispatch bench (fallback vs cached vs threaded) and a
+# single-repeat pipeline throughput run, collecting their BENCH_JSON lines
+# into BENCH_interp.json (one JSON object per line — the perf trajectory
+# file). The tier ladder is a merge gate (docs/ARCHITECTURE.md invariant 13):
+# interp_dispatch exits non-zero when cached is slower than fallback, when
+# threaded is below 1.5x cached on hot_loop, or when either ratio regresses
+# below 1.0 on self_mod.
 bench_out="$(mktemp)"
-"$BUILD_DIR"/bench/interp_dispatch --loops 100000 | tee "$bench_out"
+"$BUILD_DIR"/bench/interp_dispatch --loops 100000 \
+  --min-speedup 1.0 --min-threaded-speedup 1.5 --min-ladder 1.0 \
+  | tee "$bench_out"
 grep '^BENCH_JSON ' "$bench_out" | sed 's/^BENCH_JSON //' > BENCH_interp.json
+rm -f "$bench_out"
+# Every per-mode workload line must carry the full key set — a missing field
+# would silently break the perf-trajectory consumers downstream.
+mode_lines=0
+while IFS= read -r line; do
+  mode_lines=$((mode_lines + 1))
+  for key in bench workload mode loops steps wall_ms insns_per_sec; do
+    if ! grep -q "\"$key\":" <<<"$line"; then
+      echo "bench smoke: BENCH_JSON line missing key '$key': $line" >&2
+      exit 1
+    fi
+  done
+done < <(grep '"mode":' BENCH_interp.json)
+if [ "$mode_lines" -ne 6 ]; then  # 2 workloads x 3 dispatch tiers
+  echo "bench smoke: expected 6 per-mode BENCH_JSON lines, got $mode_lines" >&2
+  exit 1
+fi
 "$BUILD_DIR"/bench/pipeline_throughput 1 | grep '^BENCH_JSON ' \
   | sed 's/^BENCH_JSON //' >> BENCH_interp.json
-rm -f "$bench_out"
 echo "bench smoke passed ($(wc -l < BENCH_interp.json) BENCH_JSON lines)"
 
 # --- fuzz smoke ------------------------------------------------------------
@@ -78,10 +98,12 @@ echo "bench smoke passed ($(wc -l < BENCH_interp.json) BENCH_JSON lines)"
 # scheduler + DedupStore races; force_engine_test: the frontier logic the
 # scheduler drives; fuzz_test: the campaign worker pool sharing resolved
 # seeds; interp_cache_test's threaded cases: per-runtime predecode caches
-# under the campaign pool) under TSan and runs them. interp_cache_test is
-# filtered to its thread-bearing cases — the full DroidBench parity sweep is
-# single-threaded and already runs in the normal pass. Skipped where TSan
-# can't compile, link or execute (older toolchains, restricted sandboxes).
+# under the campaign pool; dispatch_tier_test's threaded cases: concurrent
+# fused execution with self-modification and cache invalidation) under TSan
+# and runs them. interp_cache_test and dispatch_tier_test are filtered to
+# their thread-bearing cases — the full parity sweeps are single-threaded
+# and already run in the normal pass. Skipped where TSan can't compile,
+# link or execute (older toolchains, restricted sandboxes).
 TSAN_DIR="${TSAN_DIR:-${BUILD_DIR}-tsan}"
 tsan_probe="$(mktemp -d)"
 cat > "$tsan_probe/probe.cpp" <<'EOF'
@@ -96,11 +118,12 @@ if c++ -fsanitize=thread -o "$tsan_probe/probe" "$tsan_probe/probe.cpp" \
     -DDEXLEGO_BUILD_BENCHES=OFF -DDEXLEGO_BUILD_EXAMPLES=OFF
   cmake --build "$TSAN_DIR" -j "$JOBS" \
     --target pipeline_test force_engine_test fuzz_test interp_cache_test \
-             real_dex_test
+             dispatch_tier_test real_dex_test
   "$TSAN_DIR"/tests/pipeline_test
   "$TSAN_DIR"/tests/force_engine_test
   "$TSAN_DIR"/tests/fuzz_test
   "$TSAN_DIR"/tests/interp_cache_test --gtest_filter='InterpCacheThreads.*'
+  "$TSAN_DIR"/tests/dispatch_tier_test --gtest_filter='DispatchTierThreads.*'
   # Container-equivalence runs the reveal pipeline end to end; under TSan it
   # guards the real-DEX load path against racy lazy state.
   "$TSAN_DIR"/tests/real_dex_test --gtest_filter='RealDexContainerEquivalence.*'

@@ -1,0 +1,53 @@
+// Per-instruction evaluation helpers shared by the interpreter's dispatch
+// tiers (src/runtime/interp.cpp's switch loop and the direct-threaded core
+// in src/runtime/interp_threaded.cpp). Keeping exactly one definition of
+// the comparison/taint semantics is part of what makes the tiers
+// observationally equivalent (docs/ARCHITECTURE.md invariant 13).
+#pragma once
+
+#include "src/bytecode/opcodes.h"
+#include "src/runtime/object.h"
+#include "src/runtime/value.h"
+
+namespace dexlego::rt::iops {
+
+inline uint32_t effective_taint(const Value& v) {
+  return v.taint | (v.ref != nullptr ? v.ref->taint : 0u);
+}
+
+inline bool eval_if(bc::Op op, const Value& a, const Value& b) {
+  using bc::Op;
+  // eq/ne compare references when both operands are refs; all other
+  // comparisons use the integer test view.
+  if ((op == Op::kIfEq || op == Op::kIfNe) && a.is_ref() && b.is_ref()) {
+    // String comparisons in samples use equals(); == on refs is identity.
+    bool eq = a.ref == b.ref;
+    return op == Op::kIfEq ? eq : !eq;
+  }
+  int64_t x = a.test_value(), y = b.test_value();
+  switch (op) {
+    case Op::kIfEq: return x == y;
+    case Op::kIfNe: return x != y;
+    case Op::kIfLt: return x < y;
+    case Op::kIfGe: return x >= y;
+    case Op::kIfGt: return x > y;
+    case Op::kIfLe: return x <= y;
+    default: return false;
+  }
+}
+
+inline bool eval_ifz(bc::Op op, const Value& a) {
+  using bc::Op;
+  int64_t x = a.test_value();
+  switch (op) {
+    case Op::kIfEqz: return x == 0;
+    case Op::kIfNez: return x != 0;
+    case Op::kIfLtz: return x < 0;
+    case Op::kIfGez: return x >= 0;
+    case Op::kIfGtz: return x > 0;
+    case Op::kIfLez: return x <= 0;
+    default: return false;
+  }
+}
+
+}  // namespace dexlego::rt::iops

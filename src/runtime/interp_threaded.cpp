@@ -1,0 +1,906 @@
+// Direct-threaded dispatch tier (DispatchMode::kThreaded) — the mterp
+// analog of run_bytecode's switch loop (docs/INTERPRETER.md). Each
+// predecoded slot carries the address of its opcode handler, resolved at
+// predecode time (PredecodedCode::set_threaded), so steady-state dispatch
+// is one indirect goto off the slot instead of a decode + switch. Where
+// computed goto is unavailable the same slots carry a dense extended
+// opcode and dispatch degrades to a switch over it — a function-pointer
+// table in spirit, with identical semantics.
+//
+// On top of plain threading, hot adjacent pairs execute as fused
+// superinstructions (bc::FuseKind): the pair's two handlers run as one
+// dispatch with only step accounting in between. Fusion is taken only when
+// the run is "quiet" (no instruction/branch hooks subscribed) and both the
+// head's and the tail's source-unit guards still hold, so instrumented
+// runs and self-modified code fall back to the same per-instruction path
+// the kCached tier takes. Every observable — trace order, hook order,
+// exception identity and messages, interning, step counting, abort points
+// — must match run_bytecode exactly; tests/dispatch_tier_test.cpp and the
+// fusion property tests in tests/support_property_test.cpp enforce it
+// against kBaseline.
+#include <stdexcept>
+
+#include "src/bytecode/insn.h"
+#include "src/runtime/interp.h"
+#include "src/runtime/interp_ops.h"
+#include "src/runtime/runtime.h"
+#include "src/support/bytes.h"
+
+// Computed goto is a GNU extension (GCC/Clang). The portable fallback
+// dispatches through a switch over ThreadedSlot::xop instead of the stored
+// label address; define DEXLEGO_FORCE_SWITCH_DISPATCH to exercise it on a
+// GNU toolchain.
+#if defined(__GNUC__) && !defined(DEXLEGO_FORCE_SWITCH_DISPATCH)
+#define DEXLEGO_COMPUTED_GOTO 1
+#else
+#define DEXLEGO_COMPUTED_GOTO 0
+#endif
+
+#if DEXLEGO_COMPUTED_GOTO
+// Handler entry: a label whose address lives in the slot. XCASE expands to
+// nothing — the label covers every opcode the table maps to it.
+#define OPH(name) H_##name:
+#define XCASE(x)
+#define GOTO_HANDLER(h, x) goto* (h)
+// &&label values can differ between clones of the containing function;
+// slots must dispatch into the one body whose labels seeded the table.
+#if defined(__clang__)
+#define DEXLEGO_INTERP_ATTR __attribute__((noinline))
+#else
+#define DEXLEGO_INTERP_ATTR __attribute__((noinline, noclone))
+#endif
+#else
+#define OPH(name)
+#define XCASE(x) case static_cast<unsigned>(x):
+#define GOTO_HANDLER(h, x)     \
+  do {                         \
+    xop_to_run = (x);          \
+    goto run_switch;           \
+  } while (0)
+#define DEXLEGO_INTERP_ATTR
+#endif
+
+// Register access: slots whose operands were bounds-checked at predecode
+// time read the frame array raw; everything else goes through the checked
+// path so hostile operands throw the same out_of_range the baseline sees.
+#define REG(i) (fast_regs ? R[(i)] : regs.at((i)))
+
+// Handler-body guard mirroring the try/catch around run_bytecode's switch:
+// garbage indices written by self-modifying code surface as VerifyError.
+#define TRY_OOR try
+#define CATCH_OOR                                                       \
+  catch (const std::out_of_range& e) {                                  \
+    pending = make_exception("Ljava/lang/VerifyError;", e.what());      \
+    goto check_pending;                                                 \
+  }
+
+// Handler epilogues. Pure ops (no nested code possible: no invokes, no
+// clinit, no hooks ran) may skip re-validating the world; everything else
+// re-enters the full dispatch sequence.
+#define NEXT_PURE()                                    \
+  do {                                                 \
+    pc = next;                                         \
+    if (quiet && cache != nullptr) goto dispatch_pure; \
+    goto dispatch_full;                                \
+  } while (0)
+#define NEXT_FULL() \
+  do {              \
+    pc = next;      \
+    goto dispatch_full; \
+  } while (0)
+
+#define BINOP_HANDLER(NAME, OPENUM, EXPR)                               \
+  OPH(NAME)                                                             \
+  XCASE(Op::OPENUM)                                                     \
+  {                                                                     \
+    TRY_OOR {                                                           \
+      const Value& vb = REG(ip->b);                                     \
+      const Value& vc = REG(ip->c);                                     \
+      const int64_t b = vb.test_value();                                \
+      const int64_t c = vc.test_value();                                \
+      const uint32_t taint =                                            \
+          effective_taint(vb) | effective_taint(vc);                    \
+      REG(ip->a) = Value::Int((EXPR), taint);                           \
+    }                                                                   \
+    CATCH_OOR                                                           \
+    NEXT_PURE();                                                        \
+  }
+
+namespace dexlego::rt {
+
+using bc::Insn;
+using bc::Op;
+using iops::effective_taint;
+using iops::eval_if;
+using iops::eval_ifz;
+
+DEXLEGO_INTERP_ATTR
+Interpreter::CallResult Interpreter::run_threaded(RtMethod& method,
+                                                  std::vector<Value>& args) {
+  CallResult out;
+  const uint16_t registers = method.code->registers_size;
+  const uint16_t ins = method.code->ins_size;
+  std::vector<Value> regs(registers, Value::Null());
+  {
+    size_t base = registers - ins;
+    for (size_t i = 0; i < args.size() && i < ins; ++i) regs[base + i] = args[i];
+  }
+
+  ClassLinker& linker = rt_.linker();
+  const HookChain& chain = rt_.hook_chain();
+  const bool fuse_enabled = rt_.config().fuse_superinstructions;
+  Value* const R = regs.data();
+
+  Value result_reg = Value::Null();  // move-result source
+  Object* caught = nullptr;          // move-exception source
+  Object* pending = nullptr;         // in-flight exception
+  size_t pc = 0;
+  size_t next = 0;
+  uint8_t cur_width = 1;  // width of the instruction being executed
+  std::span<const uint16_t> insns;
+  PredecodedCode* cache = nullptr;
+  // Raw slot arrays + step budget, refreshed at every full dispatch (the
+  // only point foreign code could have rebuilt the cache or, in principle,
+  // retuned the budget). Pure steps read the hoisted copies.
+  const bc::PredecodedUnit* units = nullptr;
+  const ThreadedSlot* tslots = nullptr;
+  uint64_t step_limit = rt_.config().step_limit;
+  const Insn* ip = nullptr;
+  Insn scratch;  // degraded-mode decode / fused-tail copy
+  const ThreadedSlot* ts = nullptr;
+  bool quiet = false;
+  bool fast_regs = false;
+#if !DEXLEGO_COMPUTED_GOTO
+  unsigned xop_to_run = 0;
+#endif
+
+#if DEXLEGO_COMPUTED_GOTO
+  // Extended handler-address table, indexed by ThreadedSlot::xop: one entry
+  // per Op value (0x00..kMaxOp), then one per superinstruction family.
+  static const void* const kHandlers[kXopCount] = {
+      &&H_Nop,            // 0x00 nop
+      &&H_Move,           // 0x01 move
+      &&H_Const,          // 0x02 const/16
+      &&H_Const,          // 0x03 const/32
+      &&H_Const,          // 0x04 const-wide
+      &&H_ConstString,    // 0x05 const-string
+      &&H_ConstNull,      // 0x06 const-null
+      &&H_MoveResult,     // 0x07 move-result
+      &&H_MoveException,  // 0x08 move-exception
+      &&H_ReturnVoid,     // 0x09 return-void
+      &&H_Return,         // 0x0a return
+      &&H_Throw,          // 0x0b throw
+      &&H_Goto,           // 0x0c goto
+      &&H_If,             // 0x0d if-eq
+      &&H_If,             // 0x0e if-ne
+      &&H_If,             // 0x0f if-lt
+      &&H_If,             // 0x10 if-ge
+      &&H_If,             // 0x11 if-gt
+      &&H_If,             // 0x12 if-le
+      &&H_If,             // 0x13 if-eqz
+      &&H_If,             // 0x14 if-nez
+      &&H_If,             // 0x15 if-ltz
+      &&H_If,             // 0x16 if-gez
+      &&H_If,             // 0x17 if-gtz
+      &&H_If,             // 0x18 if-lez
+      &&H_Add,            // 0x19 add
+      &&H_Sub,            // 0x1a sub
+      &&H_Mul,            // 0x1b mul
+      &&H_DivRem,         // 0x1c div
+      &&H_DivRem,         // 0x1d rem
+      &&H_And,            // 0x1e and
+      &&H_Or,             // 0x1f or
+      &&H_Xor,            // 0x20 xor
+      &&H_Shl,            // 0x21 shl
+      &&H_Shr,            // 0x22 shr
+      &&H_Cmp,            // 0x23 cmp
+      &&H_Lit8,           // 0x24 add-lit8
+      &&H_Lit8,           // 0x25 mul-lit8
+      &&H_NegNot,         // 0x26 neg
+      &&H_NegNot,         // 0x27 not
+      &&H_NewInstance,    // 0x28 new-instance
+      &&H_NewArray,       // 0x29 new-array
+      &&H_ArrayLength,    // 0x2a array-length
+      &&H_AgetAput,       // 0x2b aget
+      &&H_AgetAput,       // 0x2c aput
+      &&H_IgetIput,       // 0x2d iget
+      &&H_IgetIput,       // 0x2e iput
+      &&H_SgetSput,       // 0x2f sget
+      &&H_SgetSput,       // 0x30 sput
+      &&H_Invoke,         // 0x31 invoke-virtual
+      &&H_Invoke,         // 0x32 invoke-direct
+      &&H_Invoke,         // 0x33 invoke-static
+      &&H_PackedSwitch,   // 0x34 packed-switch
+      &&H_InstanceOf,     // 0x35 instance-of
+      &&H_Payload,        // 0x36 payload
+      &&H_FCmpBranch,     // 0x37 fused cmp+branch
+      &&H_FConstMove,     // 0x38 fused const+move
+      &&H_FIgetInvoke,    // 0x39 fused iget+invoke
+  };
+  const void* const* const table = kHandlers;
+#else
+  const void* const* const table = nullptr;
+#endif
+
+dispatch_full:
+  // Full inter-instruction bookkeeping — byte-for-byte the order of
+  // run_bytecode's loop head: abort, step budget, live instruction array,
+  // bounds, instruction hooks, then (re)validate the cache.
+  if (aborted_) return {};
+  step_limit = rt_.config().step_limit;
+  if (++steps_ > step_limit) {
+    request_abort("step limit exceeded");
+    return {};
+  }
+  insns = std::span<const uint16_t>(method.code->insns);
+  if (pc >= insns.size()) {
+    out.exception = make_exception("Ljava/lang/VerifyError;",
+                                   "pc out of bounds in " + method.full_name());
+    return out;
+  }
+  if (!chain.empty(HookEvent::kInstruction)) {
+    chain.dispatch_instruction(method, static_cast<uint32_t>(pc), insns);
+  }
+  quiet = chain.empty(HookEvent::kInstruction) &&
+          chain.empty(HookEvent::kBranch) && chain.empty(HookEvent::kForceBranch);
+
+  // Cache (re)validation — identical policy to the kCached tier, including
+  // the rebuild cap that degrades hostile array churn to decode-every-step.
+  cache = method.predecoded.get();
+  if (cache == nullptr) {
+    method.predecoded = std::make_unique<PredecodedCode>();
+    cache = method.predecoded.get();
+    cache->set_threaded(table, registers, fuse_enabled);
+    cache->rebuild(insns, method.code_generation);
+  } else {
+    if (!cache->threaded()) cache->set_threaded(table, registers, fuse_enabled);
+    if (!cache->valid_for(insns, method.code_generation)) {
+      if (cache->stats().rebuilds < PredecodedCode::kMaxRebuilds) {
+        cache->rebuild(insns, method.code_generation);
+      } else {
+        cache = nullptr;  // hostile churn: degrade to decode-every-step
+      }
+    }
+  }
+  if (cache == nullptr) {
+    try {
+      scratch = bc::decode_at(insns, pc);
+    } catch (const support::ParseError& e) {
+      out.exception = make_exception("Ljava/lang/VerifyError;", e.what());
+      return out;
+    }
+    ip = &scratch;
+    fast_regs = false;
+    cur_width = ip->width;
+    next = pc + cur_width;
+    GOTO_HANDLER(table[static_cast<uint8_t>(ip->op)],
+                 static_cast<unsigned>(ip->op));
+  }
+  units = cache->units_data();
+  tslots = cache->threaded_data();
+  goto serve;
+
+dispatch_pure:
+  // Lean re-entry after a pure op in a quiet run: nothing outside this
+  // frame executed, so the abort flag, hook lists, instruction array and
+  // cache stamp are all provably unchanged — only the step budget, the
+  // bounds check and the slot's own guard still apply.
+  if (++steps_ > step_limit) {
+    request_abort("step limit exceeded");
+    return {};
+  }
+  if (pc >= insns.size()) {
+    out.exception = make_exception("Ljava/lang/VerifyError;",
+                                   "pc out of bounds in " + method.full_name());
+    return out;
+  }
+
+serve:
+  // Serve the slot at pc: guard-checked memoized decode (lazy decode on
+  // first visit of a hostile jump target), then one indirect dispatch —
+  // fused when the pair's guards hold and the run is quiet.
+  {
+    const bc::PredecodedUnit* u = units + pc;
+    if (!u->mapped || !u->src_matches(insns, pc)) {
+      try {
+        (void)cache->fetch(insns, pc);
+      } catch (const support::ParseError& e) {
+        out.exception = make_exception("Ljava/lang/VerifyError;", e.what());
+        return out;
+      }
+    }
+    ts = tslots + pc;
+    ip = &u->insn;
+    fast_regs = ts->head_regs_ok;
+    cur_width = ip->width;
+    next = pc + cur_width;
+    if (ts->fused && quiet) {
+      const bc::PredecodedUnit& tail_unit = units[ts->tail_pc];
+      if (tail_unit.mapped && tail_unit.src_matches(insns, ts->tail_pc)) {
+        GOTO_HANDLER(ts->handler, ts->xop);
+      }
+    }
+    GOTO_HANDLER(table[static_cast<uint8_t>(ip->op)],
+                 static_cast<unsigned>(ip->op));
+  }
+
+#if !DEXLEGO_COMPUTED_GOTO
+run_switch:
+  switch (xop_to_run) {
+    default: {
+      pending = make_exception("Ljava/lang/VerifyError;", "invalid opcode");
+      goto check_pending;
+    }
+#endif
+
+  OPH(Nop)
+  XCASE(Op::kNop)
+  { NEXT_PURE(); }
+
+  OPH(Move)
+  XCASE(Op::kMove)
+  {
+    TRY_OOR { REG(ip->a) = REG(ip->b); }
+    CATCH_OOR
+    NEXT_PURE();
+  }
+
+  OPH(Const)
+  XCASE(Op::kConst16) XCASE(Op::kConst32) XCASE(Op::kConstWide)
+  {
+    TRY_OOR { REG(ip->a) = Value::Int(ip->lit); }
+    CATCH_OOR
+    NEXT_PURE();
+  }
+
+  OPH(ConstString)
+  XCASE(Op::kConstString)
+  {
+    // Interned in all tiers (Dalvik literal identity); the degraded path
+    // interns by content exactly like the baseline tier.
+    TRY_OOR {
+      Object* s = cache != nullptr
+                      ? linker.interned_string(*method.image, ip->idx)
+                      : rt_.heap().intern_string(
+                            method.image->file.string_at(ip->idx));
+      REG(ip->a) = Value::Ref(s);
+    }
+    CATCH_OOR
+    NEXT_PURE();
+  }
+
+  OPH(ConstNull)
+  XCASE(Op::kConstNull)
+  {
+    TRY_OOR { REG(ip->a) = Value::Null(); }
+    CATCH_OOR
+    NEXT_PURE();
+  }
+
+  OPH(MoveResult)
+  XCASE(Op::kMoveResult)
+  {
+    TRY_OOR { REG(ip->a) = result_reg; }
+    CATCH_OOR
+    NEXT_PURE();
+  }
+
+  OPH(MoveException)
+  XCASE(Op::kMoveException)
+  {
+    TRY_OOR {
+      REG(ip->a) = caught != nullptr ? Value::Ref(caught) : Value::Null();
+    }
+    CATCH_OOR
+    NEXT_PURE();
+  }
+
+  OPH(ReturnVoid)
+  XCASE(Op::kReturnVoid)
+  { return out; }
+
+  OPH(Return)
+  XCASE(Op::kReturn)
+  {
+    TRY_OOR { out.ret = REG(ip->a); }
+    CATCH_OOR
+    return out;
+  }
+
+  OPH(Throw)
+  XCASE(Op::kThrow)
+  {
+    TRY_OOR {
+      const Value& v = REG(ip->a);
+      pending = v.is_null_ref()
+                    ? make_exception("Ljava/lang/NullPointerException;",
+                                     "throw on null")
+                    : v.ref;
+    }
+    CATCH_OOR
+    // A non-reference operand leaves nothing to throw (baseline falls
+    // through to the next instruction the same way).
+    if (pending == nullptr) NEXT_PURE();
+    goto check_pending;
+  }
+
+  OPH(Goto)
+  XCASE(Op::kGoto)
+  {
+    next = pc + static_cast<size_t>(ip->off);
+    NEXT_PURE();
+  }
+
+  OPH(If)
+  XCASE(Op::kIfEq) XCASE(Op::kIfNe) XCASE(Op::kIfLt) XCASE(Op::kIfGe)
+  XCASE(Op::kIfGt) XCASE(Op::kIfLe) XCASE(Op::kIfEqz) XCASE(Op::kIfNez)
+  XCASE(Op::kIfLtz) XCASE(Op::kIfGez) XCASE(Op::kIfGtz) XCASE(Op::kIfLez)
+  {
+    const Op iop = ip->op;
+    const uint8_t ra = ip->a, rb = ip->b;
+    const int32_t off = ip->off;
+    TRY_OOR {
+      bool taken = bc::is_two_reg_if(iop) ? eval_if(iop, REG(ra), REG(rb))
+                                          : eval_ifz(iop, REG(ra));
+      // Empty hook lists make both dispatch helpers no-ops in the baseline;
+      // guarding them here is observationally identical and keeps the hot
+      // path call-free.
+      if (!chain.empty(HookEvent::kForceBranch)) {
+        bool forced = taken;
+        if (chain.dispatch_force_branch(method, static_cast<uint32_t>(pc),
+                                        &forced)) {
+          taken = forced;
+        }
+      }
+      if (!chain.empty(HookEvent::kBranch)) {
+        chain.dispatch_branch(method, static_cast<uint32_t>(pc), taken);
+      }
+      if (taken) next = pc + static_cast<size_t>(off);
+    }
+    CATCH_OOR
+    NEXT_PURE();
+  }
+
+  BINOP_HANDLER(Add, kAdd, b + c)
+  BINOP_HANDLER(Sub, kSub, b - c)
+  BINOP_HANDLER(Mul, kMul, b * c)
+  BINOP_HANDLER(And, kAnd, b & c)
+  BINOP_HANDLER(Or, kOr, b | c)
+  BINOP_HANDLER(Xor, kXor, b ^ c)
+  BINOP_HANDLER(Shl, kShl, b << (c & 63))
+  BINOP_HANDLER(Shr, kShr, b >> (c & 63))
+  BINOP_HANDLER(Cmp, kCmp, (b < c) ? -1 : (b > c ? 1 : 0))
+
+  OPH(DivRem)
+  XCASE(Op::kDiv) XCASE(Op::kRem)
+  {
+    TRY_OOR {
+      const Value& vb = REG(ip->b);
+      const Value& vc = REG(ip->c);
+      const int64_t b = vb.test_value();
+      const int64_t c = vc.test_value();
+      const uint32_t taint = effective_taint(vb) | effective_taint(vc);
+      if (c == 0) {
+        pending = make_exception("Ljava/lang/ArithmeticException;",
+                                 "divide by zero");
+        goto check_pending;
+      }
+      REG(ip->a) = Value::Int(ip->op == Op::kDiv ? b / c : b % c, taint);
+    }
+    CATCH_OOR
+    NEXT_PURE();
+  }
+
+  OPH(Lit8)
+  XCASE(Op::kAddLit8) XCASE(Op::kMulLit8)
+  {
+    TRY_OOR {
+      const Value& vb = REG(ip->b);
+      const int64_t r = ip->op == Op::kAddLit8 ? vb.test_value() + ip->lit
+                                               : vb.test_value() * ip->lit;
+      REG(ip->a) = Value::Int(r, effective_taint(vb));
+    }
+    CATCH_OOR
+    NEXT_PURE();
+  }
+
+  OPH(NegNot)
+  XCASE(Op::kNeg) XCASE(Op::kNot)
+  {
+    TRY_OOR {
+      const Value& vb = REG(ip->b);
+      const int64_t r =
+          ip->op == Op::kNeg ? -vb.test_value() : ~vb.test_value();
+      REG(ip->a) = Value::Int(r, effective_taint(vb));
+    }
+    CATCH_OOR
+    NEXT_PURE();
+  }
+
+  OPH(NewInstance)
+  XCASE(Op::kNewInstance)
+  {
+    // <clinit> can run (and patch this very method): copy operands first,
+    // re-validate everything after.
+    const uint8_t ra = ip->a;
+    const uint16_t idx = ip->idx;
+    TRY_OOR {
+      const std::string& desc = method.image->file.type_descriptor(idx);
+      if (linker.is_framework_descriptor(desc)) {
+        REG(ra) = Value::Ref(rt_.heap().new_framework(desc));
+      } else {
+        RtClass* cls = linker.ensure_initialized(desc);
+        if (cls == nullptr) {
+          pending = make_exception("Ljava/lang/NoClassDefFoundError;", desc);
+          goto check_pending;
+        }
+        REG(ra) = Value::Ref(
+            rt_.heap().new_instance(cls, desc, cls->instance_slot_count));
+      }
+    }
+    CATCH_OOR
+    NEXT_FULL();
+  }
+
+  OPH(NewArray)
+  XCASE(Op::kNewArray)
+  {
+    TRY_OOR {
+      int64_t len = REG(ip->b).test_value();
+      if (len < 0) {
+        pending = make_exception("Ljava/lang/NegativeArraySizeException;",
+                                 std::to_string(len));
+        goto check_pending;
+      }
+      const std::string& desc = method.image->file.type_descriptor(ip->idx);
+      REG(ip->a) =
+          Value::Ref(rt_.heap().new_array(desc, static_cast<size_t>(len)));
+    }
+    CATCH_OOR
+    NEXT_PURE();
+  }
+
+  OPH(ArrayLength)
+  XCASE(Op::kArrayLength)
+  {
+    TRY_OOR {
+      const Value& arr = REG(ip->b);
+      if (arr.is_null_ref()) {
+        pending = make_exception("Ljava/lang/NullPointerException;",
+                                 "array-length on null");
+        goto check_pending;
+      }
+      REG(ip->a) = Value::Int(static_cast<int64_t>(arr.ref->elems.size()),
+                              effective_taint(arr));
+    }
+    CATCH_OOR
+    NEXT_PURE();
+  }
+
+  OPH(AgetAput)
+  XCASE(Op::kAget) XCASE(Op::kAput)
+  {
+    TRY_OOR {
+      const Value& arr = REG(ip->b);
+      if (arr.is_null_ref()) {
+        pending = make_exception("Ljava/lang/NullPointerException;",
+                                 "array access on null");
+        goto check_pending;
+      }
+      int64_t idx = REG(ip->c).test_value();
+      if (idx < 0 || static_cast<size_t>(idx) >= arr.ref->elems.size()) {
+        pending = make_exception("Ljava/lang/ArrayIndexOutOfBoundsException;",
+                                 std::to_string(idx));
+        goto check_pending;
+      }
+      if (ip->op == Op::kAget) {
+        Value v = arr.ref->elems[static_cast<size_t>(idx)];
+        v.taint |= arr.ref->taint;
+        REG(ip->a) = v;
+      } else {
+        arr.ref->elems[static_cast<size_t>(idx)] = REG(ip->a);
+      }
+    }
+    CATCH_OOR
+    NEXT_PURE();
+  }
+
+  OPH(IgetIput)
+  XCASE(Op::kIget) XCASE(Op::kIput)
+  {
+    // Instance-field resolution can lazily load a class (hooks can run):
+    // copy operands first, full re-validation after.
+    const bool is_get = ip->op == Op::kIget;
+    const uint8_t ra = ip->a, rb = ip->b;
+    const uint16_t idx = ip->idx;
+    TRY_OOR {
+      const Value& obj = REG(rb);
+      if (obj.is_null_ref()) {
+        pending = make_exception("Ljava/lang/NullPointerException;",
+                                 "field access on null");
+        goto check_pending;
+      }
+      auto resolved = cache != nullptr
+                          ? linker.resolve_field_cached(*method.image, idx, false)
+                          : linker.resolve_field(*method.image, idx, false);
+      if (resolved.field == nullptr ||
+          resolved.field->slot >= obj.ref->fields.size()) {
+        pending = make_exception("Ljava/lang/NoSuchFieldError;",
+                                 method.image->file.pretty_field(idx));
+        goto check_pending;
+      }
+      if (is_get) {
+        REG(ra) = obj.ref->fields[resolved.field->slot];
+      } else {
+        obj.ref->fields[resolved.field->slot] = REG(ra);
+      }
+    }
+    CATCH_OOR
+    NEXT_FULL();
+  }
+
+  OPH(SgetSput)
+  XCASE(Op::kSget) XCASE(Op::kSput)
+  {
+    // Static-field resolution runs <clinit>: copy operands first.
+    const bool is_get = ip->op == Op::kSget;
+    const uint8_t ra = ip->a;
+    const uint16_t idx = ip->idx;
+    TRY_OOR {
+      auto resolved = cache != nullptr
+                          ? linker.resolve_field_cached(*method.image, idx, true)
+                          : linker.resolve_field(*method.image, idx, true);
+      if (resolved.field == nullptr) {
+        pending = make_exception("Ljava/lang/NoSuchFieldError;",
+                                 method.image->file.pretty_field(idx));
+        goto check_pending;
+      }
+      if (is_get) {
+        REG(ra) = resolved.cls->static_values.at(resolved.field->slot);
+      } else {
+        resolved.cls->static_values.at(resolved.field->slot) = REG(ra);
+      }
+    }
+    CATCH_OOR
+    NEXT_FULL();
+  }
+
+  OPH(Invoke)
+  XCASE(Op::kInvokeVirtual) XCASE(Op::kInvokeDirect) XCASE(Op::kInvokeStatic)
+  {
+    const uint8_t op_raw = static_cast<uint8_t>(ip->op);
+    const uint8_t argc = ip->a;
+    const uint16_t midx = ip->idx;
+    const std::array<uint8_t, 4> argregs = ip->args;
+    TRY_OOR {
+      std::vector<Value> call_args;
+      call_args.reserve(argc);
+      for (uint8_t i = 0; i < argc; ++i) call_args.push_back(REG(argregs[i]));
+      InlineSite* icp = cache != nullptr ? &cache->inline_site(pc) : nullptr;
+      CallResult r = dispatch_invoke(op_raw, method, static_cast<uint32_t>(pc),
+                                     midx, std::move(call_args), icp);
+      if (aborted_) return {};
+      if (r.exception != nullptr) {
+        pending = r.exception;
+        goto check_pending;
+      }
+      result_reg = r.ret;
+    }
+    CATCH_OOR
+    NEXT_FULL();
+  }
+
+  OPH(PackedSwitch)
+  XCASE(Op::kPackedSwitch)
+  {
+    TRY_OOR {
+      bc::SwitchPayload payload;
+      try {
+        payload = bc::read_switch_payload(insns, pc, *ip);
+      } catch (const support::ParseError& pe) {
+        pending = make_exception("Ljava/lang/VerifyError;", pe.what());
+        goto check_pending;
+      }
+      int64_t v = REG(ip->a).test_value();
+      int64_t rel = v - payload.first_key;
+      if (rel >= 0 && rel < static_cast<int64_t>(payload.rel_targets.size())) {
+        next =
+            pc + static_cast<size_t>(payload.rel_targets[static_cast<size_t>(rel)]);
+      }
+    }
+    CATCH_OOR
+    NEXT_PURE();
+  }
+
+  OPH(InstanceOf)
+  XCASE(Op::kInstanceOf)
+  {
+    TRY_OOR {
+      const Value& obj = REG(ip->b);
+      const std::string& desc = method.image->file.type_descriptor(ip->idx);
+      bool match = false;
+      if (!obj.is_null_ref()) {
+        if (obj.ref->klass != nullptr) {
+          for (RtClass* c = obj.ref->klass; c != nullptr; c = c->super) {
+            if (c->descriptor == desc) match = true;
+          }
+        }
+        if (obj.ref->class_descriptor == desc) match = true;
+      }
+      REG(ip->a) = Value::Int(match ? 1 : 0);
+    }
+    CATCH_OOR
+    NEXT_PURE();
+  }
+
+  OPH(Payload)
+  XCASE(Op::kPayload)
+  {
+    pending =
+        make_exception("Ljava/lang/VerifyError;", "executed switch payload");
+    goto check_pending;
+  }
+
+  // --- fused superinstructions --------------------------------------------
+  // Entered only when quiet and both pair guards held at dispatch. Between
+  // the head and the tail only the step budget applies: pure heads run no
+  // nested code, so the world is provably unchanged mid-pair.
+
+  OPH(FCmpBranch)
+  XCASE(fused_xop(bc::FuseKind::kCmpBranch))
+  {
+    TRY_OOR {
+      const Value& vb = REG(ip->b);
+      const Value& vc = REG(ip->c);
+      const int64_t b = vb.test_value();
+      const int64_t c = vc.test_value();
+      const uint32_t taint = effective_taint(vb) | effective_taint(vc);
+      REG(ip->a) = Value::Int((b < c) ? -1 : (b > c ? 1 : 0), taint);
+    }
+    CATCH_OOR
+    if (++steps_ > step_limit) {
+      request_abort("step limit exceeded");
+      return {};
+    }
+    pc = ts->tail_pc;
+    {
+      const Insn& tl = units[pc].insn;
+      cur_width = tl.width;
+      next = pc + cur_width;
+      fast_regs = ts->tail_regs_ok;
+      TRY_OOR {
+        bool taken = bc::is_two_reg_if(tl.op)
+                         ? eval_if(tl.op, REG(tl.a), REG(tl.b))
+                         : eval_ifz(tl.op, REG(tl.a));
+        // quiet: branch/force-branch hook dispatch is a no-op by definition.
+        if (taken) next = pc + static_cast<size_t>(tl.off);
+      }
+      CATCH_OOR
+    }
+    pc = next;
+    goto dispatch_pure;
+  }
+
+  OPH(FConstMove)
+  XCASE(fused_xop(bc::FuseKind::kConstMove))
+  {
+    TRY_OOR { REG(ip->a) = Value::Int(ip->lit); }
+    CATCH_OOR
+    if (++steps_ > step_limit) {
+      request_abort("step limit exceeded");
+      return {};
+    }
+    pc = ts->tail_pc;
+    {
+      const Insn& tl = units[pc].insn;
+      cur_width = tl.width;
+      next = pc + cur_width;
+      fast_regs = ts->tail_regs_ok;
+      TRY_OOR { REG(tl.a) = REG(tl.b); }
+      CATCH_OOR
+    }
+    pc = next;
+    goto dispatch_pure;
+  }
+
+  OPH(FIgetInvoke)
+  XCASE(fused_xop(bc::FuseKind::kIgetInvoke))
+  {
+    // The fused fast path is legal only across a memoized field resolution
+    // (pure lookup, no class loading, no hooks). The first execution — and
+    // any execution after register_dex flushed the entry — runs the pair
+    // unfused through the plain handlers instead.
+    if (!linker.instance_field_memoized(*method.image, ip->idx)) {
+      GOTO_HANDLER(table[static_cast<uint8_t>(Op::kIget)],
+                   static_cast<unsigned>(Op::kIget));
+    }
+    {
+      const size_t tail_pc = ts->tail_pc;
+      const bool tail_fast = ts->tail_regs_ok;
+      const bool is_get_head = ip->op == Op::kIget;  // always true (legality)
+      TRY_OOR {
+        const Value& obj = REG(ip->b);
+        if (obj.is_null_ref()) {
+          pending = make_exception("Ljava/lang/NullPointerException;",
+                                   "field access on null");
+          goto check_pending;
+        }
+        auto resolved = linker.resolve_field_cached(*method.image, ip->idx, false);
+        if (resolved.field == nullptr ||
+            resolved.field->slot >= obj.ref->fields.size()) {
+          pending = make_exception("Ljava/lang/NoSuchFieldError;",
+                                   method.image->file.pretty_field(ip->idx));
+          goto check_pending;
+        }
+        if (is_get_head) REG(ip->a) = obj.ref->fields[resolved.field->slot];
+      }
+      CATCH_OOR
+      if (++steps_ > step_limit) {
+        request_abort("step limit exceeded");
+        return {};
+      }
+      // Tail invoke: copy the decoded form out of the slot — the call can
+      // rebuild or drop this cache while the frame is mid-pair.
+      scratch = units[tail_pc].insn;
+      pc = tail_pc;
+      cur_width = scratch.width;
+      next = pc + cur_width;
+      fast_regs = tail_fast;
+      TRY_OOR {
+        std::vector<Value> call_args;
+        call_args.reserve(scratch.a);
+        for (uint8_t i = 0; i < scratch.a; ++i) {
+          call_args.push_back(REG(scratch.args[i]));
+        }
+        InlineSite* icp = &cache->inline_site(pc);
+        CallResult r =
+            dispatch_invoke(static_cast<uint8_t>(scratch.op), method,
+                            static_cast<uint32_t>(pc), scratch.idx,
+                            std::move(call_args), icp);
+        if (aborted_) return {};
+        if (r.exception != nullptr) {
+          pending = r.exception;
+          goto check_pending;
+        }
+        result_reg = r.ret;
+      }
+      CATCH_OOR
+    }
+    NEXT_FULL();
+  }
+
+#if !DEXLEGO_COMPUTED_GOTO
+  }  // switch (xop_to_run)
+#endif
+
+check_pending:
+  // In-flight exception — same tolerate / try-range / unwind sequence as
+  // run_bytecode, keyed to the pc and width of the faulting instruction
+  // (for fused pairs: whichever half faulted).
+  {
+    bool tolerated =
+        chain.dispatch_tolerate_exception(method, static_cast<uint32_t>(pc));
+    if (tolerated) {
+      pending = nullptr;
+      pc += cur_width;  // skip the faulting instruction
+      goto dispatch_full;
+    }
+    const dex::TryItem* handler = nullptr;
+    for (const dex::TryItem& t : method.code->tries) {
+      if (pc >= t.start_pc && pc < t.end_pc) {
+        handler = &t;
+        break;
+      }
+    }
+    if (handler != nullptr) {
+      caught = pending;
+      pending = nullptr;
+      pc = handler->handler_pc;
+      goto dispatch_full;
+    }
+    out.exception = pending;
+    return out;
+  }
+}
+
+}  // namespace dexlego::rt

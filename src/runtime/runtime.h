@@ -25,12 +25,17 @@ namespace dexlego::rt {
 
 enum class DeviceProfile { kPhone, kTablet, kEmulator };
 
-// Interpreter dispatch strategy. kCached predecodes instruction streams and
-// inline-caches pool resolution (src/runtime/predecode.h); kBaseline
-// re-decodes every step and re-resolves every pool ref — deliberately kept
-// alive as the differential baseline the cached path is tested against
-// (tests/interp_cache_test.cpp, bench/interp_dispatch.cpp).
-enum class DispatchMode : uint8_t { kCached, kBaseline };
+// Interpreter dispatch strategy — a three-rung tier ladder, every rung
+// observationally equivalent (docs/ARCHITECTURE.md invariant 13). kCached
+// predecodes instruction streams and inline-caches pool resolution
+// (src/runtime/predecode.h); kThreaded additionally resolves a direct-
+// threaded handler address into every predecoded slot and fuses hot
+// adjacent pairs into superinstructions (src/runtime/interp_threaded.cpp);
+// kBaseline re-decodes every step and re-resolves every pool ref —
+// deliberately kept alive as the differential oracle the faster tiers are
+// tested against (tests/interp_cache_test.cpp, tests/dispatch_tier_test.cpp,
+// bench/interp_dispatch.cpp).
+enum class DispatchMode : uint8_t { kCached, kBaseline, kThreaded };
 
 struct RuntimeConfig {
   DeviceProfile device = DeviceProfile::kPhone;
@@ -41,6 +46,9 @@ struct RuntimeConfig {
   bool lenient_framework = false;
   uint64_t step_limit = 200'000'000;
   DispatchMode dispatch = DispatchMode::kCached;
+  // kThreaded only: fuse hot adjacent pairs into superinstructions. Off is
+  // the unfused threaded tier — the fusion property tests diff the two.
+  bool fuse_superinstructions = true;
 };
 
 class Runtime {

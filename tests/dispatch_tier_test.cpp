@@ -1,0 +1,357 @@
+// Cross-tier equivalence battery for the dispatch ladder (ARCHITECTURE
+// invariant 13): kBaseline, kCached and kThreaded must be observationally
+// identical — byte-identical traces and revealed files over the full
+// DroidBench-analog set (including the four self-modifying samples), over
+// the hostile-app scenario family from the fuzzer's mutator population,
+// and identical fuzz-campaign reports on seeds 1-10. The fused
+// superinstruction machinery gets its own guards here: a patch landing
+// inside a fused span must split the pair (all three invalidation layers),
+// and wholesale invalidation mid-loop must rebuild and re-fuse without a
+// behavioural ripple. DispatchTierThreads.* runs under TSan in ci.sh.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/benchsuite/droidbench.h"
+#include "src/bytecode/assembler.h"
+#include "src/dex/builder.h"
+#include "src/dex/io.h"
+#include "src/fuzz/triage.h"
+#include "src/pipeline/scenarios.h"
+#include "tests/harness/diff_fixture.h"
+
+namespace dexlego {
+namespace {
+
+using bc::MethodAssembler;
+using bc::Op;
+
+const suite::DroidBench& db() {
+  static suite::DroidBench suite = suite::build_droidbench();
+  return suite;
+}
+
+rt::RuntimeConfig mode_config(rt::DispatchMode mode) {
+  rt::RuntimeConfig config;
+  config.dispatch = mode;
+  return config;
+}
+
+dex::Apk make_apk(dex::DexFile file, const std::string& entry) {
+  dex::Apk apk;
+  dex::Manifest manifest;
+  manifest.package = "tier";
+  manifest.entry_class = entry;
+  apk.set_manifest(manifest);
+  apk.set_classes(dex::write_dex(file));
+  return apk;
+}
+
+core::RevealResult reveal_in_mode(const dex::Apk& apk,
+                                  const harness::ConfigureFn& configure,
+                                  rt::DispatchMode mode) {
+  core::DexLegoOptions options;
+  options.configure_runtime = configure;
+  options.runtime.dispatch = mode;
+  core::DexLego dexlego(options);
+  return dexlego.reveal(apk);
+}
+
+// --- every DroidBench sample, all three tiers ------------------------------
+
+class DispatchTierEverySample : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DispatchTierEverySample, TraceAndRevealedFileAreByteIdentical) {
+  const suite::Sample* sample = db().find(GetParam());
+  ASSERT_NE(sample, nullptr);
+
+  harness::ExecutionTrace baseline = harness::run_and_trace(
+      sample->apk, sample->configure_runtime,
+      mode_config(rt::DispatchMode::kBaseline));
+  for (rt::DispatchMode mode :
+       {rt::DispatchMode::kCached, rt::DispatchMode::kThreaded}) {
+    harness::ExecutionTrace trace = harness::run_and_trace(
+        sample->apk, sample->configure_runtime, mode_config(mode));
+    EXPECT_TRUE(harness::TraceEquivalent(baseline, trace))
+        << "mode " << static_cast<int>(mode);
+  }
+
+  core::RevealResult reveal_baseline = reveal_in_mode(
+      sample->apk, sample->configure_runtime, rt::DispatchMode::kBaseline);
+  for (rt::DispatchMode mode :
+       {rt::DispatchMode::kCached, rt::DispatchMode::kThreaded}) {
+    core::RevealResult reveal =
+        reveal_in_mode(sample->apk, sample->configure_runtime, mode);
+    EXPECT_EQ(reveal_baseline.verified, reveal.verified)
+        << "mode " << static_cast<int>(mode);
+    EXPECT_EQ(reveal_baseline.revealed_apk.classes(),
+              reveal.revealed_apk.classes())
+        << "mode " << static_cast<int>(mode);
+  }
+}
+
+std::vector<std::string> all_sample_names() {
+  std::vector<std::string> names;
+  for (const suite::Sample& s : db().samples) names.push_back(s.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(DroidBench, DispatchTierEverySample,
+                         ::testing::ValuesIn(all_sample_names()),
+                         [](const auto& info) { return info.param; });
+
+// --- hostile-app scenario family -------------------------------------------
+
+// The fuzzer-mutant population (guard stacking, reflection mazes,
+// self-modifying writes, nested packing, bytecode mutants) traced across
+// all three tiers.
+TEST(DispatchTierHostile, FuzzFamilyTracesIdenticalAcrossTiers) {
+  std::vector<pipeline::BatchJob> jobs = pipeline::fuzz_jobs(12);
+  ASSERT_FALSE(jobs.empty());
+  for (const pipeline::BatchJob& job : jobs) {
+    harness::ExecutionTrace baseline =
+        harness::run_and_trace(job.apk, job.configure_runtime,
+                               mode_config(rt::DispatchMode::kBaseline));
+    for (rt::DispatchMode mode :
+         {rt::DispatchMode::kCached, rt::DispatchMode::kThreaded}) {
+      harness::ExecutionTrace trace = harness::run_and_trace(
+          job.apk, job.configure_runtime, mode_config(mode));
+      EXPECT_TRUE(harness::TraceEquivalent(baseline, trace))
+          << job.name << " mode " << static_cast<int>(mode);
+    }
+  }
+}
+
+// --- fuzz campaigns: identical reports on seeds 1-10 -----------------------
+
+fuzz::CampaignReport seed_campaign(uint64_t seed, size_t iters, size_t threads,
+                                   rt::DispatchMode mode) {
+  fuzz::CampaignOptions options;
+  options.seed = seed;
+  options.iters = iters;
+  options.threads = threads;
+  options.oracle.dispatch = mode;
+  return fuzz::run_campaign(options);
+}
+
+TEST(DispatchTierFuzz, CampaignReportsIdenticalAcrossTiersSeeds1To10) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    fuzz::CampaignReport baseline =
+        seed_campaign(seed, 20, 1, rt::DispatchMode::kBaseline);
+    fuzz::CampaignReport threaded =
+        seed_campaign(seed, 20, 1, rt::DispatchMode::kThreaded);
+    EXPECT_EQ(baseline.report_fingerprint(), threaded.report_fingerprint())
+        << "seed " << seed << "\nbaseline:\n"
+        << baseline.summary() << "\nthreaded:\n"
+        << threaded.summary();
+    EXPECT_EQ(baseline.summary(), threaded.summary()) << "seed " << seed;
+  }
+}
+
+// --- fused-pair invalidation -----------------------------------------------
+
+// Self-modifying loop whose patched const16 is the HEAD of a const+move
+// fused pair: the patch lands inside the fused span, so all three
+// invalidation layers must split the superinstruction back apart or the
+// stale fused literal leaks into the trace. `announce` selects
+// patch_code_unit vs a hostile direct write to code->insns.
+dex::Apk fused_self_mod_app(size_t* patch_pc_out) {
+  dex::DexBuilder b;
+  uint32_t log_i =
+      b.intern_method("Landroid/util/Log;", "i", "V", {"Ljava/lang/String;"});
+  uint32_t tostr = b.intern_method("Ljava/lang/Integer;", "toString",
+                                   "Ljava/lang/String;", {"I"});
+  uint32_t tamper = b.intern_method("Ltier/Fused;", "mutate", "V", {});
+  b.start_class("Ltier/Fused;", "Landroid/app/Activity;");
+  size_t patch_pc = 0;
+  {
+    MethodAssembler as(6, 1);  // this v5
+    auto loop = as.make_label();
+    auto done = as.make_label();
+    as.const16(1, 0);
+    as.const16(2, 4);
+    as.bind(loop);
+    as.if_test(Op::kIfGe, 1, 2, done);
+    patch_pc = as.current_pc();
+    as.const16(0, 100);  // mutate() bumps this literal every iteration...
+    as.move(4, 0);       // ...and this move makes it a const+move fuse head
+    as.invoke(Op::kInvokeStatic, static_cast<uint16_t>(tostr), {4});
+    as.move_result(0);
+    as.invoke(Op::kInvokeStatic, static_cast<uint16_t>(log_i), {0});
+    as.invoke(Op::kInvokeVirtual, static_cast<uint16_t>(tamper), {5});
+    as.add_lit8(1, 1, 1);
+    as.goto_(loop);
+    as.bind(done);
+    as.return_void();
+    b.add_virtual_method("onCreate", "V", {}, as.finish());
+  }
+  b.add_native_method("mutate", "V", {});
+  *patch_pc_out = patch_pc;
+  return make_apk(std::move(b).build(), "Ltier/Fused;");
+}
+
+harness::ConfigureFn fused_self_mod_native(size_t patch_pc, bool announce) {
+  return [patch_pc, announce](rt::Runtime& runtime) {
+    runtime.register_native(
+        "Ltier/Fused;->mutate",
+        [patch_pc, announce](rt::NativeContext& ctx, std::span<rt::Value>) {
+          rt::RtMethod* oc = ctx.runtime.linker()
+                                 .resolve("Ltier/Fused;")
+                                 ->find_declared("onCreate");
+          uint16_t next =
+              static_cast<uint16_t>(oc->code->insns[patch_pc + 1] + 11);
+          if (announce) {
+            oc->patch_code_unit(patch_pc + 1, next);
+          } else {
+            oc->code->insns[patch_pc + 1] = next;  // hostile: unannounced
+          }
+          return rt::Value::Null();
+        });
+  };
+}
+
+std::vector<std::string> observed_literals(const harness::ExecutionTrace& t) {
+  std::vector<std::string> logged;
+  for (const std::string& line : t.sink_log) {
+    logged.push_back(line.substr(line.rfind('|') + 1));
+  }
+  return logged;
+}
+
+TEST(FusionSelfMod, AnnouncedPatchSplitsTheFusedPair) {
+  size_t patch_pc = 0;
+  dex::Apk apk = fused_self_mod_app(&patch_pc);
+
+  rt::Runtime runtime(mode_config(rt::DispatchMode::kThreaded));
+  fused_self_mod_native(patch_pc, true)(runtime);
+  runtime.install(apk);
+  ASSERT_TRUE(runtime.launch().completed);
+
+  rt::RtMethod* oc =
+      runtime.linker().resolve("Ltier/Fused;")->find_declared("onCreate");
+  ASSERT_NE(oc->predecoded, nullptr);
+  const rt::PredecodedCode::Stats& stats = oc->predecoded->stats();
+  // The pair really fused at predecode time, and the first patch inside its
+  // span really split it (later patches hit the already-split plain slot).
+  EXPECT_GT(stats.fusions, 0u);
+  EXPECT_GT(stats.fusion_splits, 0u);
+  EXPECT_FALSE(oc->predecoded->is_fused(patch_pc));
+
+  std::vector<std::string> logged;
+  for (const rt::Runtime::SinkEvent& ev : runtime.sink_events()) {
+    logged.push_back(ev.detail);
+  }
+  EXPECT_EQ(logged,
+            (std::vector<std::string>{"100", "111", "122", "133"}));
+}
+
+TEST(FusionSelfMod, TracesMatchBaselineAnnouncedAndHostile) {
+  size_t patch_pc = 0;
+  dex::Apk apk = fused_self_mod_app(&patch_pc);
+  for (bool announce : {true, false}) {
+    harness::ExecutionTrace baseline =
+        harness::run_and_trace(apk, fused_self_mod_native(patch_pc, announce),
+                               mode_config(rt::DispatchMode::kBaseline));
+    harness::ExecutionTrace threaded =
+        harness::run_and_trace(apk, fused_self_mod_native(patch_pc, announce),
+                               mode_config(rt::DispatchMode::kThreaded));
+    EXPECT_TRUE(harness::TraceEquivalent(baseline, threaded))
+        << "announce=" << announce;
+    EXPECT_EQ(observed_literals(threaded),
+              (std::vector<std::string>{"100", "111", "122", "133"}))
+        << "announce=" << announce;
+  }
+}
+
+// Wholesale invalidation mid-loop: the cache (fused slots included) is
+// dropped while a fused-capable frame is live; the next dispatch rebuilds
+// and re-fuses, and the trace must not ripple.
+TEST(FusionSelfMod, InvalidateCodeCacheDuringFusedLoop) {
+  size_t patch_pc = 0;
+  dex::Apk apk = fused_self_mod_app(&patch_pc);
+  auto invalidating_native = [patch_pc](rt::Runtime& runtime) {
+    runtime.register_native(
+        "Ltier/Fused;->mutate",
+        [patch_pc](rt::NativeContext& ctx, std::span<rt::Value>) {
+          rt::RtMethod* oc = ctx.runtime.linker()
+                                 .resolve("Ltier/Fused;")
+                                 ->find_declared("onCreate");
+          uint16_t next =
+              static_cast<uint16_t>(oc->code->insns[patch_pc + 1] + 11);
+          oc->code->insns[patch_pc + 1] = next;
+          oc->invalidate_code_cache();  // structural-edit escape hatch
+          return rt::Value::Null();
+        });
+  };
+
+  harness::ExecutionTrace baseline = harness::run_and_trace(
+      apk, invalidating_native, mode_config(rt::DispatchMode::kBaseline));
+  harness::ExecutionTrace threaded = harness::run_and_trace(
+      apk, invalidating_native, mode_config(rt::DispatchMode::kThreaded));
+  EXPECT_TRUE(harness::TraceEquivalent(baseline, threaded));
+  EXPECT_EQ(observed_literals(threaded),
+            (std::vector<std::string>{"100", "111", "122", "133"}));
+}
+
+// --- thread-bearing cases (run under TSan via ci.sh) -----------------------
+
+// Concurrent runtimes executing fused code while their natives call
+// patch_code_unit / invalidate_code_cache mid-loop. Runtimes are
+// thread-private by design; what TSan checks here is that the threaded
+// tier's process-wide pieces (the handler-address table, interned
+// framework state) are not accidentally shared mutable state.
+TEST(DispatchTierThreads, ConcurrentFusedSelfModAndInvalidation) {
+  size_t patch_pc = 0;
+  dex::Apk apk = fused_self_mod_app(&patch_pc);
+
+  constexpr int kWorkers = 4;
+  std::vector<std::vector<std::string>> logged(kWorkers);
+  std::vector<std::thread> workers;
+  workers.reserve(kWorkers);
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      // Workers alternate surgical patching and wholesale invalidation.
+      rt::Runtime runtime(mode_config(rt::DispatchMode::kThreaded));
+      if (w % 2 == 0) {
+        fused_self_mod_native(patch_pc, true)(runtime);
+      } else {
+        runtime.register_native(
+            "Ltier/Fused;->mutate",
+            [patch_pc](rt::NativeContext& ctx, std::span<rt::Value>) {
+              rt::RtMethod* oc = ctx.runtime.linker()
+                                     .resolve("Ltier/Fused;")
+                                     ->find_declared("onCreate");
+              uint16_t next =
+                  static_cast<uint16_t>(oc->code->insns[patch_pc + 1] + 11);
+              oc->code->insns[patch_pc + 1] = next;
+              oc->invalidate_code_cache();
+              return rt::Value::Null();
+            });
+      }
+      runtime.install(apk);
+      ASSERT_TRUE(runtime.launch().completed);
+      for (const rt::Runtime::SinkEvent& ev : runtime.sink_events()) {
+        logged[static_cast<size_t>(w)].push_back(ev.detail);
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  for (int w = 0; w < kWorkers; ++w) {
+    EXPECT_EQ(logged[static_cast<size_t>(w)],
+              (std::vector<std::string>{"100", "111", "122", "133"}))
+        << "worker " << w;
+  }
+}
+
+TEST(DispatchTierThreads, ThreadedCampaignParityAcrossTiers) {
+  fuzz::CampaignReport baseline =
+      seed_campaign(1, 12, 4, rt::DispatchMode::kBaseline);
+  fuzz::CampaignReport threaded =
+      seed_campaign(1, 12, 4, rt::DispatchMode::kThreaded);
+  EXPECT_EQ(baseline.report_fingerprint(), threaded.report_fingerprint());
+}
+
+}  // namespace
+}  // namespace dexlego
