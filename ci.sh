@@ -51,6 +51,10 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 # pipeline, byte-compared against sequential — ARCHITECTURE invariant 12.
 "$BUILD_DIR"/examples/dexlego_batch --scenario realdex --count 6 \
   --threads 2 --compare-sequential --quiet
+# The market-reuse corpus on a non-default shard count, byte-compared
+# against the sequential default-shard run.
+"$BUILD_DIR"/examples/dexlego_batch --scenario large --count 8 \
+  --threads 2 --shards 8 --compare-sequential --quiet
 
 # --- interpreter dispatch bench smoke --------------------------------------
 # Runs the three-tier dispatch bench (fallback vs cached vs threaded) and a
@@ -82,9 +86,71 @@ if [ "$mode_lines" -ne 6 ]; then  # 2 workloads x 3 dispatch tiers
   echo "bench smoke: expected 6 per-mode BENCH_JSON lines, got $mode_lines" >&2
   exit 1
 fi
-"$BUILD_DIR"/bench/pipeline_throughput 1 | grep '^BENCH_JSON ' \
-  | sed 's/^BENCH_JSON //' >> BENCH_interp.json
 echo "bench smoke passed ($(wc -l < BENCH_interp.json) BENCH_JSON lines)"
+
+# --- pipeline scaling bench ------------------------------------------------
+# The 10k-app large_corpus scaling matrix (threads x dedup-store shards).
+# The bench fingerprint-compares every config's per-app outputs internally
+# and exits non-zero on any divergence, so byte-identity across 1/2/4/8
+# threads and 1/2/8/16 shards is part of this gate. The >= 2x speedup bar at
+# 4 threads only arms on hosts that actually have >= 4 hardware threads —
+# below that the speedup rows are reporting-only (a 1-core container cannot
+# show a multi-core speedup). The 1-thread run is additionally gated against
+# the recorded baseline in bench/pipeline_baseline.json: a >10% apps/sec
+# regression fails. Refresh the baseline on a quiet machine with
+#   DEXLEGO_UPDATE_BASELINE=1 ./ci.sh
+hw_threads="$(nproc)"
+scaling_args=(--corpus large --count 10000 --threads 1,2,4,8 --shards 64)
+if [ "$hw_threads" -ge 4 ]; then
+  scaling_args+=(--gate-threads 4 --min-speedup 2.0)
+else
+  echo "pipeline scaling: $hw_threads hardware thread(s) < 4;" \
+       "speedup gate is reporting-only"
+fi
+baseline_file="bench/pipeline_baseline.json"
+if [ -z "${DEXLEGO_UPDATE_BASELINE:-}" ] && [ -f "$baseline_file" ]; then
+  baseline_rate="$(sed -n 's/.*"apps_per_sec":\([0-9.]*\).*/\1/p' \
+                   "$baseline_file")"
+  if [ -n "$baseline_rate" ]; then
+    scaling_args+=(--baseline-apps-per-sec "$baseline_rate" \
+                   --max-regression 0.10)
+  fi
+fi
+scaling_out="$(mktemp)"
+"$BUILD_DIR"/bench/pipeline_throughput "${scaling_args[@]}" | tee "$scaling_out"
+# Shard sweep: the same corpus across 1/2/8/16 store shards, sequential and
+# parallel — the bench's internal fingerprint check is the identity matrix.
+"$BUILD_DIR"/bench/pipeline_throughput --corpus large --count 10000 \
+  --threads 1,4 --shards 1,2,8,16 | tee -a "$scaling_out"
+# One quick DroidBench set keeps the historical trajectory line alive.
+"$BUILD_DIR"/bench/pipeline_throughput --corpus droidbench --repeat 1 \
+  | tee -a "$scaling_out"
+# Every pipeline BENCH_JSON line must carry the full key set before it joins
+# the trajectory file — a missing field silently breaks downstream parsers.
+pipeline_lines=0
+while IFS= read -r line; do
+  pipeline_lines=$((pipeline_lines + 1))
+  for key in bench corpus threads shards jobs wall_ms apps_per_sec \
+             speedup_vs_1t dedup_hit_rate verified; do
+    if ! grep -q "\"$key\":" <<<"$line"; then
+      echo "pipeline scaling: BENCH_JSON line missing key '$key': $line" >&2
+      exit 1
+    fi
+  done
+done < <(grep '^BENCH_JSON ' "$scaling_out")
+if [ "$pipeline_lines" -lt 16 ]; then  # 4 + 8 scaling configs + 4 droidbench
+  echo "pipeline scaling: expected >= 16 BENCH_JSON lines, got $pipeline_lines" >&2
+  exit 1
+fi
+grep '^BENCH_JSON ' "$scaling_out" | sed 's/^BENCH_JSON //' \
+  >> BENCH_interp.json
+if [ -n "${DEXLEGO_UPDATE_BASELINE:-}" ]; then
+  grep '^BENCH_JSON ' "$scaling_out" | sed 's/^BENCH_JSON //' \
+    | grep '"threads":1,"shards":64' | head -1 > "$baseline_file"
+  echo "pipeline scaling: baseline refreshed: $(cat "$baseline_file")"
+fi
+rm -f "$scaling_out"
+echo "pipeline scaling passed ($pipeline_lines configs)"
 
 # --- fuzz smoke ------------------------------------------------------------
 # A time-boxed fixed-seed differential-fuzzing campaign (docs/FUZZING.md).

@@ -4,14 +4,16 @@
 // plus the fleet summary (verified count, leak ground-truth agreement,
 // dedup hit rate, apps/sec).
 //
-//   dexlego_batch [--scenario droidbench|generated|guarded|packed|unpacked|realdex|fuzz|all]
+//   dexlego_batch [--scenario droidbench|generated|guarded|packed|unpacked|realdex|fuzz|large|all]
 //                 [--threads N | --jobs N] [--count N] [--repeat R]
-//                 [--force] [--force-depth D] [--force-iters I]
+//                 [--shards S] [--force] [--force-depth D] [--force-iters I]
 //                 [--compare-sequential] [--json] [--quiet]
 //
 //   --threads 0 (default) = one worker per hardware thread
 //   --jobs             alias for --threads (make-style worker count)
 //   --count            generated-scenario app count (default 8)
+//   --shards           DedupStore shard count (0 = store default; outputs
+//                      are byte-identical at any value)
 //   --repeat           replicate the job list R times (workload scaling)
 //   --force            explore every app with the worklist ForceEngine:
 //                      each app expands into (app, plan) units sharded
@@ -46,6 +48,9 @@ std::vector<pipeline::BatchJob> build_scenario(const std::string& name,
   if (name == "unpacked") return pipeline::unpacker_baseline_jobs();
   if (name == "realdex") return pipeline::realdex_jobs(count);
   if (name == "fuzz") return pipeline::fuzz_jobs(count);
+  if (name == "large" || name == "large_corpus") {
+    return pipeline::large_corpus_jobs(count);
+  }
   if (name == "all") return pipeline::all_jobs();
   std::fprintf(stderr, "unknown scenario '%s'\n", name.c_str());
   std::exit(2);
@@ -95,6 +100,7 @@ void print_json(const pipeline::FleetStats& fleet, const std::string& scenario) 
 int main(int argc, char** argv) {
   std::string scenario = "droidbench";
   size_t threads = 0;
+  size_t shards = 0;
   size_t count = 8;
   int repeat = 1;
   bool force = false;
@@ -129,6 +135,8 @@ int main(int argc, char** argv) {
       scenario = next();
     } else if (arg == "--threads" || arg == "--jobs") {
       threads = static_cast<size_t>(next_number(0, 4096));
+    } else if (arg == "--shards") {
+      shards = static_cast<size_t>(next_number(0, 256));
     } else if (arg == "--force") {
       force = true;
     } else if (arg == "--force-depth") {
@@ -157,6 +165,7 @@ int main(int argc, char** argv) {
 
   pipeline::BatchOptions options;
   options.threads = threads;
+  options.store_shards = shards;
   pipeline::BatchReport report = pipeline::run_batch(jobs, options);
 
   if (!quiet) {

@@ -25,11 +25,14 @@ uint16_t m(dex::DexBuilder& b, const std::string& cls, const std::string& name,
 // Emits one pseudo-random code block into `as`; returns roughly the number
 // of units emitted. Register protocol: v0 = accumulator, v1-v3 scratch,
 // param register passed by caller. full_cov blocks execute BOTH branch sides
-// in a single run via 2-iteration alternating loops.
+// in a single run via 2-iteration alternating loops. pool_free restricts the
+// mix to blocks without pool references (no const-string/invoke), so the
+// raw code units are identical across apps whose pools differ — the
+// property shared-library bodies need to dedup fleet-wide.
 void emit_block(dex::DexBuilder& b, MethodAssembler& as, support::Rng& rng,
-                bool full_cov, uint32_t line) {
+                bool full_cov, uint32_t line, bool pool_free = false) {
   as.line(line);
-  switch (rng.below(5)) {
+  switch (rng.below(pool_free ? 4 : 5)) {
     case 0: {  // arithmetic run
       as.const16(1, static_cast<int16_t>(rng.range(1, 999)));
       as.binop(Op::kAdd, 0, 0, 1);
@@ -123,7 +126,8 @@ void emit_block(dex::DexBuilder& b, MethodAssembler& as, support::Rng& rng,
 // by calling `next` (if any) and returning the accumulator.
 dex::CodeItem gen_method(dex::DexBuilder& b, support::Rng& rng, size_t units,
                          std::optional<uint16_t> next, bool full_cov,
-                         bool with_try, uint32_t base_line) {
+                         bool with_try, uint32_t base_line,
+                         bool pool_free = false) {
   MethodAssembler as(8, 1);  // param in v7
   as.line(base_line);
   as.move(0, 7);
@@ -145,7 +149,7 @@ dex::CodeItem gen_method(dex::DexBuilder& b, support::Rng& rng, size_t units,
     as.bind(after);
   }
   while (as.current_pc() + 26 < units) {
-    emit_block(b, as, rng, full_cov, ++line);
+    emit_block(b, as, rng, full_cov, ++line, pool_free);
   }
   while (as.current_pc() + 4 < units) {  // pad toward the exact size target
     as.const16(1, static_cast<int16_t>(rng.range(1, 99)));
@@ -265,8 +269,14 @@ GeneratedApp generate_app(const AppSpec& spec) {
       static_cast<size_t>(static_cast<double>(spec.target_units) * spec.guarded_fraction);
   size_t dead_units =
       static_cast<size_t>(static_cast<double>(spec.target_units) * spec.dead_fraction);
-  size_t base_units = spec.target_units > guarded_units + dead_units + 120
-                          ? spec.target_units - guarded_units - dead_units - 120
+  size_t library_units =
+      spec.library_seeds.empty()
+          ? 0
+          : static_cast<size_t>(static_cast<double>(spec.target_units) *
+                                spec.library_fraction);
+  size_t carved = guarded_units + dead_units + library_units;
+  size_t base_units = spec.target_units > carved + 120
+                          ? spec.target_units - carved - 120
                           : 60;
 
   constexpr size_t kMethodUnits = 150;
@@ -274,15 +284,19 @@ GeneratedApp generate_app(const AppSpec& spec) {
 
   // Builds classes covering `units`; each class gets an `entry(I)I` that
   // calls its methods sequentially (call depth stays 2, regardless of app
-  // size). Returns the entry method ids.
+  // size). Returns the entry method ids. `gen` drives body generation:
+  // library partitions pass a seed-pinned Rng so the same library seed
+  // yields the same body stream in every app embedding it, while the app's
+  // own partitions consume the app rng as before.
   auto build_classes = [&](const std::string& prefix, size_t units,
-                           bool full_cov) -> std::vector<uint16_t> {
+                           bool full_cov, support::Rng& gen, bool pool_free,
+                           size_t method_units) -> std::vector<uint16_t> {
     std::vector<uint16_t> entries;
     // Entry methods, dispatch glue and onCreate guards add ~10% on top of
     // the generated bodies; compensate so totals land on the target.
     size_t adjusted = units - units / 10;
     size_t n_methods =
-        std::max<size_t>(1, (adjusted + kMethodUnits / 2) / kMethodUnits);
+        std::max<size_t>(1, (adjusted + method_units / 2) / method_units);
     size_t n_classes = (n_methods + kMethodsPerClass - 1) / kMethodsPerClass;
     for (size_t c = 0; c < n_classes; ++c) {
       std::string cls =
@@ -293,10 +307,10 @@ GeneratedApp generate_app(const AppSpec& spec) {
       for (size_t i = 0; i < in_class; ++i) {
         // Unreachable catch handlers would break the Table I full-inclusion
         // property, so they only appear in non-full-coverage apps.
-        bool with_try = !full_cov && rng.chance(0.1);
+        bool with_try = !full_cov && gen.chance(0.1);
         dex::CodeItem code = gen_method(
-            b, rng, kMethodUnits, std::nullopt, full_cov, with_try,
-            static_cast<uint32_t>(100 * (c + 1) + i * 10));
+            b, gen, method_units, std::nullopt, full_cov, with_try,
+            static_cast<uint32_t>(100 * (c + 1) + i * 10), pool_free);
         b.add_direct_method("m" + std::to_string(i), "I", {"I"}, std::move(code));
       }
       MethodAssembler as(8, 1);  // param in v7
@@ -313,15 +327,38 @@ GeneratedApp generate_app(const AppSpec& spec) {
     return entries;
   };
 
+  // Library partition first: bodies come from the library seeds' own rng
+  // streams (pool-free, so raw units match across apps — see emit_block),
+  // split evenly across the listed seeds. Entry glue still names this app's
+  // classes, mirroring how real apps link the same library differently.
+  std::vector<uint16_t> library_entries;
+  if (library_units > 0) {
+    // Library methods are small helpers (~kMethodUnits/2), so one embedded
+    // library contributes several dedup-able bodies, not one monolith.
+    size_t per_library = library_units / spec.library_seeds.size();
+    for (size_t k = 0; k < spec.library_seeds.size() && per_library > 60; ++k) {
+      support::Rng lib_rng(spec.library_seeds[k]);
+      std::vector<uint16_t> entries =
+          build_classes("Lib" + std::to_string(k), per_library,
+                        spec.full_coverage_style, lib_rng, /*pool_free=*/true,
+                        kMethodUnits / 2);
+      library_entries.insert(library_entries.end(), entries.begin(),
+                             entries.end());
+    }
+  }
+
   std::vector<uint16_t> base_entries =
-      build_classes("Base", base_units, spec.full_coverage_style);
+      build_classes("Base", base_units, spec.full_coverage_style, rng,
+                    /*pool_free=*/false, kMethodUnits);
   std::vector<uint16_t> guarded_entries;
   if (guarded_units > 60) {
-    guarded_entries =
-        build_classes("Guarded", guarded_units, spec.full_coverage_style);
+    guarded_entries = build_classes("Guarded", guarded_units,
+                                    spec.full_coverage_style, rng,
+                                    /*pool_free=*/false, kMethodUnits);
   }
   if (dead_units > 60) {
-    build_classes("Dead", dead_units, spec.full_coverage_style);  // never called
+    build_classes("Dead", dead_units, spec.full_coverage_style, rng,
+                  /*pool_free=*/false, kMethodUnits);  // never called
   }
 
   std::string maze_cls = "L" + pkg_path + "/Maze;";
@@ -377,6 +414,10 @@ GeneratedApp generate_app(const AppSpec& spec) {
         as.add_lit8(2, 2, static_cast<int8_t>(-delta));
         as.if_test(Op::kIfNe, 1, 2, *hostile_skip);
       }
+    }
+    for (uint16_t entry : library_entries) {
+      as.invoke(Op::kInvokeStatic, entry, {0});
+      as.move_result(0);
     }
     for (uint16_t entry : base_entries) {
       as.invoke(Op::kInvokeStatic, entry, {0});

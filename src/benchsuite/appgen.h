@@ -37,6 +37,17 @@ struct AppSpec {
   double guarded_fraction = 0.0;
   double dead_fraction = 0.0;
 
+  // Embedded-library model (the large_corpus pipeline scenario): this
+  // fraction of target_units is emitted as "library" classes whose method
+  // bodies are generated from the listed seeds instead of `seed`, split
+  // evenly across them. Two apps naming the same library seed get
+  // byte-identical library method bodies (class names differ per app, but
+  // bodies carry only symbolic refs), so fleet-level dedup sees the
+  // market-style reuse real corpora exhibit. Empty list or 0 fraction
+  // disables the partition.
+  std::vector<uint64_t> library_seeds{};
+  double library_fraction = 0.0;
+
   // Table VIII: thousands of framework render-loop iterations executed in
   // onCreate — models the native init/display share of an app launch, which
   // collection does not slow down.

@@ -1,5 +1,6 @@
 #include "src/pipeline/batch.h"
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -285,7 +286,10 @@ BatchReport run_batch(const std::vector<BatchJob>& jobs,
     threads = jobs.size();
   }
 
-  DedupStore local_store;
+  DedupStore local_store{DedupStore::Options{
+      options.store_shards == 0 ? DedupStore::kDefaultShards
+                                : options.store_shards,
+      DedupStore::HashFn{}}};
   DedupStore& store = options.store != nullptr ? *options.store : local_store;
 
   BatchReport report;
@@ -294,16 +298,20 @@ BatchReport run_batch(const std::vector<BatchJob>& jobs,
 
   // Scheduler state: a dynamic queue of (app, wave-slot) tasks. Plain jobs
   // contribute one task; force jobs re-enqueue a task per plan unit at every
-  // wave end, so one app's exploration spreads across all workers.
+  // wave end, so one app's exploration spreads across all workers. Workers
+  // claim *chunks* of tasks per lock acquisition (adaptive to queue depth),
+  // so with thousands of small apps the queue mutex leaves the hot path.
   struct Task {
     size_t app = 0;
     size_t slot = 0;
   };
-  std::mutex mu;
+  std::mutex mu;  // guards queue and force-wave handoff only
   std::condition_variable cv;
   std::deque<Task> queue;
   std::vector<AppState> states(jobs.size());
-  size_t apps_remaining = jobs.size();
+  // Completion count is an atomic, not mu-guarded state: classic jobs finish
+  // without ever re-taking the queue lock.
+  std::atomic<size_t> apps_remaining{jobs.size()};
 
   for (size_t i = 0; i < jobs.size(); ++i) {
     AppState& app = states[i];
@@ -320,57 +328,119 @@ BatchReport run_batch(const std::vector<BatchJob>& jobs,
     queue.push_back(Task{i, 0});
   }
 
-  auto worker = [&]() {
-    std::unique_lock<std::mutex> lock(mu);
-    for (;;) {
-      cv.wait(lock, [&]() { return !queue.empty() || apps_remaining == 0; });
-      if (queue.empty()) return;  // apps_remaining == 0
-      Task task = queue.front();
-      queue.pop_front();
-      AppState& app = states[task.app];
-      if (app.start_ms < 0.0) app.start_ms = wall.elapsed_ms();
+  // How many tasks one lock acquisition may claim: share the visible
+  // backlog across workers (keeping ~2 refills per worker in reserve so a
+  // heavyweight chunk cannot starve siblings), floor 1, cap 32.
+  constexpr size_t kMaxChunk = 32;
+  auto chunk_for = [threads](size_t depth) {
+    size_t share = depth / (threads * 2);
+    return share < 1 ? size_t{1} : (share > kMaxChunk ? kMaxChunk : share);
+  };
 
-      if (app.classic) {
-        lock.unlock();
-        JobResult result = run_one(*app.job, store, options.keep_dex);
-        lock.lock();
-        app.result = std::move(result);
-        --apps_remaining;
-        cv.notify_all();
-        continue;
-      }
-
-      coverage::PlanUnit& unit = app.wave_units[task.slot];
-      lock.unlock();
-      UnitOutput out = run_unit(*app.job, unit);
-      lock.lock();
-      app.wave_outputs[task.slot] = std::move(out);
-      if (--app.outstanding > 0) continue;  // wave still in flight elsewhere
-
-      // Last unit of the wave: this worker owns the app until it either
-      // enqueues the next wave or finishes the job.
-      lock.unlock();
-      advance_force_app(app, store, options.keep_dex);
-      lock.lock();
-      if (!app.wave_units.empty()) {
-        for (size_t s = 0; s < app.wave_units.size(); ++s) {
-          queue.push_back(Task{task.app, s});
-        }
-      } else {
-        app.result.ok = app.result.ok && !app.failed;
-        app.result.wall_ms = wall.elapsed_ms() - app.start_ms;
-        --apps_remaining;
-      }
+  // Decrements the fleet's remaining-app count (batched per chunk for
+  // classic jobs). The worker that takes the count to zero locks and
+  // releases mu before notifying: the empty lock pairs with the mutex a
+  // sleeper holds while evaluating its wait predicate, so the final wakeup
+  // cannot be lost — and the notify itself happens with no lock held.
+  auto finish_apps = [&](size_t n) {
+    if (apps_remaining.fetch_sub(n, std::memory_order_acq_rel) == n) {
+      { std::lock_guard<std::mutex> barrier(mu); }
       cv.notify_all();
     }
   };
 
+  // Per-worker scheduler tallies, merged into FleetStats after the join —
+  // workers never touch shared stats mid-batch.
+  struct WorkerLocal {
+    uint64_t pops = 0;
+    uint64_t tasks = 0;
+    size_t max_chunk = 0;
+  };
+  std::vector<WorkerLocal> locals(threads);
+
+  auto worker = [&](size_t worker_index) {
+    WorkerLocal& local = locals[worker_index];
+    std::vector<Task> chunk;
+    chunk.reserve(kMaxChunk);
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+      cv.wait(lock, [&]() {
+        return !queue.empty() ||
+               apps_remaining.load(std::memory_order_acquire) == 0;
+      });
+      if (queue.empty()) return;  // apps_remaining == 0
+      size_t take = chunk_for(queue.size());
+      chunk.clear();
+      while (chunk.size() < take && !queue.empty()) {
+        chunk.push_back(queue.front());
+        queue.pop_front();
+      }
+      lock.unlock();
+      ++local.pops;
+      local.tasks += chunk.size();
+      if (chunk.size() > local.max_chunk) local.max_chunk = chunk.size();
+
+      size_t classic_done = 0;
+      for (const Task& task : chunk) {
+        AppState& app = states[task.app];
+        // Only the task that starts an app can observe an unset start time:
+        // classic jobs have one task, and a force job's first wave is the
+        // single baseline unit whose completion hands the app off under mu.
+        if (app.start_ms < 0.0) app.start_ms = wall.elapsed_ms();
+
+        if (app.classic) {
+          // The app's state is exclusively ours (one task per classic job),
+          // so the result lands without any lock.
+          app.result = run_one(*app.job, store, options.keep_dex);
+          ++classic_done;
+          continue;
+        }
+
+        UnitOutput out = run_unit(*app.job, app.wave_units[task.slot]);
+        lock.lock();
+        app.wave_outputs[task.slot] = std::move(out);
+        bool wave_done = --app.outstanding == 0;
+        lock.unlock();
+        if (!wave_done) continue;  // wave still in flight elsewhere
+
+        // Last unit of the wave: this worker owns the app until it either
+        // enqueues the next wave or finishes the job.
+        advance_force_app(app, store, options.keep_dex);
+        if (!app.wave_units.empty()) {
+          size_t enqueued = app.wave_units.size();
+          lock.lock();
+          for (size_t s = 0; s < enqueued; ++s) {
+            queue.push_back(Task{task.app, s});
+          }
+          lock.unlock();
+          // Wake only as many workers as there are new units (everyone, at
+          // chunk granularity, once a wave outgrows the pool) — and do it
+          // with the lock released so the woken thread never immediately
+          // blocks on mu.
+          if (enqueued == 1) {
+            cv.notify_one();
+          } else {
+            cv.notify_all();
+          }
+        } else {
+          app.result.ok = app.result.ok && !app.failed;
+          app.result.wall_ms = wall.elapsed_ms() - app.start_ms;
+          finish_apps(1);
+        }
+      }
+      if (classic_done > 0) finish_apps(classic_done);
+      lock.lock();
+    }
+  };
+
   if (threads <= 1) {
-    worker();
+    worker(0);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(threads);
-    for (size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (size_t t = 0; t < threads; ++t) {
+      pool.emplace_back(worker, t);
+    }
     for (std::thread& thread : pool) thread.join();
   }
 
@@ -382,6 +452,11 @@ BatchReport run_batch(const std::vector<BatchJob>& jobs,
   fleet.wall_ms = wall.elapsed_ms();
   fleet.threads = threads;
   fleet.jobs = jobs.size();
+  for (const WorkerLocal& local : locals) {
+    fleet.queue_pops += local.pops;
+    fleet.queue_tasks += local.tasks;
+    if (local.max_chunk > fleet.max_chunk) fleet.max_chunk = local.max_chunk;
+  }
   for (const JobResult& job : report.jobs) {
     if (job.ok) ++fleet.ok;
     if (job.verified) ++fleet.verified;

@@ -101,6 +101,14 @@ struct FleetStats {
   double wall_ms = 0.0;  // whole-batch wall time
   double cpu_ms = 0.0;   // summed worker CPU time
   double apps_per_sec = 0.0;
+
+  // Scheduler observability (merged from per-worker tallies after the pool
+  // joins): locked queue acquisitions vs tasks claimed. queue_pops <<
+  // queue_tasks means the chunked pop is amortizing the queue lock; see
+  // docs/PIPELINE.md "Batch pops".
+  uint64_t queue_pops = 0;
+  uint64_t queue_tasks = 0;
+  size_t max_chunk = 0;  // largest chunk one pop claimed
 };
 
 struct BatchReport {
@@ -115,6 +123,10 @@ struct BatchOptions {
   // Shared store to intern into; batches sharing one store dedup across
   // batches too. nullptr = a private store per run_batch call.
   DedupStore* store = nullptr;
+  // Shard count for that private store (DedupStore::Options::shards; 0 =
+  // the store's default). Ignored when `store` is provided — the provided
+  // store's own shard count wins. Outputs are byte-identical at any value.
+  size_t store_shards = 0;
   // Keep the reassembled DEX bytes in each JobResult (fingerprints are
   // always kept). Turn off for huge fleets to bound memory.
   bool keep_dex = true;

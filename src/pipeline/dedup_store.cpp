@@ -1,5 +1,6 @@
 #include "src/pipeline/dedup_store.h"
 
+#include <mutex>
 #include <stdexcept>
 
 #include "src/core/files.h"
@@ -21,66 +22,120 @@ DedupStore::Id default_hash(std::span<const uint8_t> content, uint64_t salt) {
   return h.digest();
 }
 
+size_t normalize_shards(size_t requested) {
+  if (requested < 1) requested = 1;
+  if (requested > 256) requested = 256;
+  size_t shards = 1;
+  while (shards < requested) shards <<= 1;
+  return shards;
+}
+
 }  // namespace
 
-DedupStore::DedupStore() : hash_(default_hash) {}
+DedupStore::DedupStore() : DedupStore(Options{}) {}
 
 DedupStore::DedupStore(HashFn hash)
-    : hash_(hash ? std::move(hash) : HashFn(default_hash)) {}
+    : DedupStore(Options{kDefaultShards, std::move(hash)}) {}
+
+DedupStore::DedupStore(Options options)
+    : hash_(options.hash ? std::move(options.hash) : HashFn(default_hash)),
+      shards_(normalize_shards(options.shards)) {}
 
 DedupStore::InternResult DedupStore::intern(std::span<const uint8_t> content) {
   return intern(std::vector<uint8_t>(content.begin(), content.end()));
 }
 
 DedupStore::InternResult DedupStore::intern(std::vector<uint8_t>&& content) {
+  // Hashing (and the caller's serialization/copy) happen before any lock.
   Id id = hash_(content, 0);
-  std::lock_guard<std::mutex> lock(mu_);
   for (uint64_t salt = 1;; ++salt) {
-    auto it = entries_.find(id);
-    if (it == entries_.end()) {
-      if (salt > 1) {
-        // This content's collision chain was just discovered: count the
-        // links once, at insert. Later interns of the same content re-walk
-        // the chain to the same id but are steady-state hits — counting or
-        // logging those would hand a hostile colliding pair a per-intern
-        // log-spam amplifier.
-        stats_.collisions += salt - 1;
-        DL_WARN << "dedup store hash collision; content re-keyed to id " << id
-                << " after " << (salt - 1) << " salted re-hashes";
+    Shard& shard = shard_for(id);
+    {
+      // Fast path: at steady state nearly every intern is a hit, so probe
+      // under the shared lock first — concurrent hits on one shard do not
+      // serialize, and counter bumps are relaxed atomics.
+      std::shared_lock<std::shared_mutex> read(shard.mu);
+      auto it = shard.entries.find(id);
+      if (it != shard.entries.end() && it->second == content) {
+        shard.hits.fetch_add(1, std::memory_order_relaxed);
+        shard.bytes_deduped.fetch_add(content.size(),
+                                      std::memory_order_relaxed);
+        return {id, false};
       }
-      stats_.bytes_stored += content.size();
-      entries_.emplace(id, std::move(content));
-      ++stats_.misses;
-      stats_.entries = entries_.size();
-      return {id, true};
+      if (it != shard.entries.end()) {
+        // 64-bit collision with a different resident content. Aliasing
+        // would be silent corruption and throwing would let a hostile app
+        // with an embedded colliding pair kill its own analysis job — so
+        // fail open: deterministically re-key this content with the next
+        // salt and retry on that salt's shard.
+        if (salt > 64) {
+          // 64 consecutive salted collisions is beyond adversarial; treat
+          // the hash function as broken rather than loop forever.
+          throw std::runtime_error(
+              "DedupStore: unresolvable hash collision chain");
+        }
+        id = hash_(content, salt);
+        continue;
+      }
     }
-    if (it->second == content) {
-      ++stats_.hits;
-      stats_.bytes_deduped += content.size();
-      return {id, false};
+    // Likely miss: take the exclusive lock and re-check, since another
+    // thread may have inserted (or collided into) this id between the two
+    // lock acquisitions.
+    std::unique_lock<std::shared_mutex> write(shard.mu);
+    auto it = shard.entries.find(id);
+    if (it != shard.entries.end()) {
+      if (it->second == content) {
+        shard.hits.fetch_add(1, std::memory_order_relaxed);
+        shard.bytes_deduped.fetch_add(content.size(),
+                                      std::memory_order_relaxed);
+        return {id, false};
+      }
+      if (salt > 64) {
+        throw std::runtime_error(
+            "DedupStore: unresolvable hash collision chain");
+      }
+      id = hash_(content, salt);
+      continue;
     }
-    // 64-bit collision with a different resident content. Aliasing would be
-    // silent corruption and throwing would let a hostile app with an
-    // embedded colliding pair kill its own analysis job — so fail open:
-    // deterministically re-key this content with the next salt and retry.
-    if (salt > 64) {
-      // 64 consecutive salted collisions is beyond adversarial; treat the
-      // hash function as broken rather than loop forever.
-      throw std::runtime_error("DedupStore: unresolvable hash collision chain");
+    if (salt > 1) {
+      // This content's collision chain was just discovered: count the
+      // links once, at insert. Later interns of the same content re-walk
+      // the chain to the same id but are steady-state hits — counting or
+      // logging those would hand a hostile colliding pair a per-intern
+      // log-spam amplifier.
+      shard.collisions.fetch_add(salt - 1, std::memory_order_relaxed);
+      DL_WARN << "dedup store hash collision; content re-keyed to id " << id
+              << " after " << (salt - 1) << " salted re-hashes";
     }
-    id = hash_(content, salt);
+    shard.bytes_stored.fetch_add(content.size(), std::memory_order_relaxed);
+    shard.misses.fetch_add(1, std::memory_order_relaxed);
+    shard.entries.emplace(id, std::move(content));
+    return {id, true};
   }
 }
 
 const std::vector<uint8_t>* DedupStore::lookup(Id id) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(id);
-  return it == entries_.end() ? nullptr : &it->second;
+  Shard& shard = shard_for(id);
+  std::shared_lock<std::shared_mutex> read(shard.mu);
+  auto it = shard.entries.find(id);
+  // Values are heap nodes in the map; the pointer outlives the lock because
+  // entries are never erased and rehashing moves buckets, not values.
+  return it == shard.entries.end() ? nullptr : &it->second;
 }
 
 DedupStore::Stats DedupStore::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats total;
+  for (Shard& shard : shards_) {
+    std::shared_lock<std::shared_mutex> read(shard.mu);
+    total.entries += shard.entries.size();
+    total.hits += shard.hits.load(std::memory_order_relaxed);
+    total.misses += shard.misses.load(std::memory_order_relaxed);
+    total.bytes_stored += shard.bytes_stored.load(std::memory_order_relaxed);
+    total.bytes_deduped +=
+        shard.bytes_deduped.load(std::memory_order_relaxed);
+    total.collisions += shard.collisions.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 InternedCollection intern_collection(const core::CollectionOutput& output,
@@ -91,7 +146,7 @@ InternedCollection intern_collection(const core::CollectionOutput& output,
     for (const auto& tree : rec.trees) {
       // serialize_tree returns a fresh buffer, so this binds the
       // ownership-taking overload: a miss moves instead of copying inside
-      // the store mutex.
+      // the shard lock.
       DedupStore::InternResult result =
           store.intern(core::serialize_tree(*tree));
       ids.push_back(result.id);

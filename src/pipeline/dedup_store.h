@@ -8,14 +8,26 @@
 // once, no matter which worker thread gets there first.
 //
 // Ids are the 64-bit content hash itself, so they are stable across runs,
-// thread counts and insertion orders — the property tests/pipeline_test.cpp
-// asserts under concurrent insert.
+// thread counts, insertion orders AND shard counts — the property
+// tests/pipeline_test.cpp asserts under concurrent insert.
+//
+// Concurrency shape: the store is sharded by fingerprint prefix (the top
+// bits of the id pick the shard), each shard owning its own map, lock and
+// stat counters. Workers interning unrelated contents therefore touch
+// disjoint locks, and the common steady-state case — a dedup *hit* — takes
+// only a shared (reader) lock plus relaxed atomic counter bumps, so hits
+// from many threads proceed in parallel. Serialization, hashing and the
+// copy of the incoming buffer all happen before any lock is taken; a miss
+// holds its shard's exclusive lock only for the map insert itself.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
+#include <memory>
+#include <shared_mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -35,10 +47,24 @@ class DedupStore {
   // by brute force); production always uses the default.
   using HashFn = std::function<Id(std::span<const uint8_t>, uint64_t salt)>;
 
-  // Default-constructed stores use the salted FNV-1a above; a null HashFn
-  // falls back to it too. Defined in the .cpp next to the default hash.
+  struct Options {
+    // Shard count; rounded up to a power of two and clamped to [1, 256].
+    // 1 reproduces the historical single-map store (forced-collision and
+    // determinism tests use it); the default spreads contention well past
+    // any worker count run_batch produces.
+    size_t shards = kDefaultShards;
+    // Null falls back to the default salted FNV-1a.
+    HashFn hash;
+  };
+  static constexpr size_t kDefaultShards = 64;
+
+  // Default-constructed stores use the salted FNV-1a and kDefaultShards.
   DedupStore();
   explicit DedupStore(HashFn hash);
+  explicit DedupStore(Options options);
+
+  // Power-of-two shard count this store actually runs with.
+  size_t shard_count() const { return shards_.size(); }
 
   struct InternResult {
     Id id = 0;
@@ -55,14 +81,16 @@ class DedupStore {
   // id, and the collision is counted in Stats::collisions. Under a
   // collision the id assignment depends on which content arrived first
   // (same caveat as per-job hit attribution, docs/PIPELINE.md); re-interning
-  // the same content always re-walks to the same id.
+  // the same content always re-walks to the same id. Each probe of the
+  // chain locks only the shard the salted id lands in.
   InternResult intern(std::span<const uint8_t> content);
   // Ownership-taking variant: a miss moves the buffer into the store
-  // instead of copying it inside the store mutex.
+  // instead of copying it inside the shard lock.
   InternResult intern(std::vector<uint8_t>&& content);
 
   // Stored bytes for an id, or nullptr. The pointer stays valid for the
-  // store's lifetime (entries are never erased; the map is node-based).
+  // store's lifetime (entries are never erased, and map values are stable
+  // across rehash). Takes only the owning shard's shared lock.
   const std::vector<uint8_t>* lookup(Id id) const;
 
   struct Stats {
@@ -80,13 +108,38 @@ class DedupStore {
                                     static_cast<double>(total);
     }
   };
+  // Folded totals across all shards. Every field is shard- and thread-count
+  // invariant for a given input population (asserted by pipeline_test);
+  // only the per-shard split varies with the shard count.
   Stats stats() const;
 
  private:
-  mutable std::mutex mu_;
+  // One shard: its slice of the id space plus its own stat counters. The
+  // counters are atomics so the hit fast path can bump them under the
+  // *shared* lock; they fold into Stats on demand. Cache-line aligned so
+  // neighbouring shards' locks and counters never false-share.
+  struct alignas(64) Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<Id, std::vector<uint8_t>> entries;
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> bytes_stored{0};
+    std::atomic<uint64_t> bytes_deduped{0};
+    std::atomic<uint64_t> collisions{0};
+  };
+
+  Shard& shard_for(Id id) const {
+    // Fingerprint-prefix sharding: the top byte of the id picks the shard
+    // (shards_.size() is a power of two <= 256, so the mask keeps a slice
+    // of that prefix). Using high bits keeps the mapping disjoint from any
+    // low-bit structure the map's own bucketing keys on.
+    return shards_[(id >> 56) & (shards_.size() - 1)];
+  }
+
   HashFn hash_;  // never null; defaults to the salted FNV-1a
-  std::unordered_map<Id, std::vector<uint8_t>> entries_;
-  Stats stats_;
+  // unique_ptr-free stable storage: sized once in the constructor, never
+  // resized, so Shard references stay valid without further indirection.
+  mutable std::vector<Shard> shards_;
 };
 
 // Result of interning one app's collection output: the tree ids per method,

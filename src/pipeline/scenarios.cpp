@@ -163,6 +163,51 @@ std::vector<BatchJob> realdex_jobs(size_t count, uint64_t seed0,
   return jobs;
 }
 
+std::vector<BatchJob> large_corpus_jobs(size_t count, uint64_t seed0,
+                                        size_t units, size_t library_pool) {
+  if (library_pool < 1) library_pool = 1;
+  if (units < 200) units = 200;
+  std::vector<BatchJob> jobs;
+  jobs.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    support::Rng rng(seed0 + i);
+
+    suite::AppSpec spec;
+    spec.seed = seed0 + i;
+    spec.name = "mkt-s" + std::to_string(spec.seed);
+    spec.package = "mkt.s" + std::to_string(spec.seed);
+    // Sizes jitter 0.6x-1.4x around the target so the queue sees a mixed
+    // workload instead of uniform quanta.
+    spec.target_units =
+        units - units / 5 * 2 + static_cast<size_t>(rng.below(units / 5 * 4));
+    spec.full_coverage_style = true;
+
+    // 1-4 embedded libraries, drawn with a popularity skew (the nested
+    // below() biases toward low pool indices the way a handful of support
+    // libraries dominates a real market corpus). ~65% of the app's units
+    // land in library bodies that dedup against every other app embedding
+    // the same seed.
+    size_t n_libraries = 1 + static_cast<size_t>(rng.below(4));
+    for (size_t l = 0; l < n_libraries; ++l) {
+      uint64_t pick = rng.below(rng.below(library_pool) + 1);
+      // Library seeds live far from the per-app seed range so an app's own
+      // partitions can never accidentally share a body stream.
+      uint64_t lib_seed = 0x11B0000000ull + pick;
+      bool duplicate = false;
+      for (uint64_t seen : spec.library_seeds) duplicate |= seen == lib_seed;
+      if (!duplicate) spec.library_seeds.push_back(lib_seed);
+    }
+    spec.library_fraction = static_cast<double>(rng.range(55, 75)) / 100.0;
+
+    BatchJob job;
+    job.name = spec.name;
+    job.scenario = "large_corpus";
+    job.apk = suite::generate_app(spec).apk;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
 std::vector<BatchJob> fuzz_jobs(size_t count, uint64_t seed0) {
   std::vector<BatchJob> jobs;
   jobs.reserve(count);
@@ -246,6 +291,8 @@ std::vector<BatchJob> all_jobs() {
   more = realdex_jobs(6);
   for (BatchJob& job : more) jobs.push_back(std::move(job));
   more = fuzz_jobs(6);
+  for (BatchJob& job : more) jobs.push_back(std::move(job));
+  more = large_corpus_jobs(12);
   for (BatchJob& job : more) jobs.push_back(std::move(job));
   return jobs;
 }

@@ -50,6 +50,18 @@ std::vector<BatchJob> unpacker_baseline_jobs();
 std::vector<BatchJob> realdex_jobs(size_t count, uint64_t seed0 = 501,
                                    size_t units = 1200);
 
+// `count` market-style apps for scaling runs (the 10k-app corpus behind
+// bench/pipeline_throughput's gated multi-core speedup). Each app embeds
+// 1-4 shared libraries drawn with a popularity skew from a fixed pool of
+// `library_pool` library seeds — popular libraries recur across thousands
+// of apps, so roughly two thirds of every app's method bodies dedup
+// fleet-wide (realistic market reuse, not the ~14% DroidBench shows) while
+// the rest stays unique app code. Deterministic in (count, seed0); app
+// sizes jitter around `units` code units.
+std::vector<BatchJob> large_corpus_jobs(size_t count, uint64_t seed0 = 1701,
+                                        size_t units = 900,
+                                        size_t library_pool = 48);
+
 // `count` hostile-but-valid apps from the fuzzer's mutator families
 // (docs/FUZZING.md): behavioral mutants (guard stacking, reflection mazes,
 // self-modifying writes, nested packing) plus verifier-clean bytecode

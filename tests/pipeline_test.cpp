@@ -7,12 +7,9 @@
 // changes nothing.
 #include <gtest/gtest.h>
 
-#include <algorithm>
-#include <cstdio>
-#include <cstdlib>
-#include <fstream>
 #include <span>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "src/benchsuite/droidbench.h"
@@ -23,7 +20,6 @@
 #include "src/pipeline/dedup_store.h"
 #include "src/pipeline/scenarios.h"
 #include "src/support/hash.h"
-#include "src/support/timer.h"
 #include "tests/harness/diff_fixture.h"
 
 namespace dexlego {
@@ -162,6 +158,111 @@ TEST(DedupStore, ForcedCollisionFailsOpenWithDeterministicRekey) {
   EXPECT_EQ(*store.lookup(third.id), c);
 }
 
+TEST(DedupStore, ConcurrentShardedStressMatchesSequentialReference) {
+  // The sharding contract under fire: whatever the shard count, a storm of
+  // concurrent interns over an overlapping blob set laced with forced
+  // primary-hash collisions must end in the same store as a sequential
+  // single-shard run — same entry/hit/miss/byte/collision totals, stable ids
+  // for every non-colliding content, and for colliding contents a consistent
+  // id across all racing threads plus a lookup that round-trips.
+  //
+  // The injected hash keeps the top byte (so ids spread across shards — the
+  // top byte picks the shard) but collapses the rest to 4 bits, manufacturing
+  // many salt-0 collisions; salts >= 1 hash the full content, so re-keyed ids
+  // are unique and every content's collision chain has exactly one link.
+  auto masked_hash = [](std::span<const uint8_t> content,
+                        uint64_t salt) -> pipeline::DedupStore::Id {
+    if (salt == 0) return support::fnv1a(content) & 0xFF0000000000000Full;
+    support::Fnv1a h;
+    h.add(salt);
+    h.add_bytes(content);
+    return h.digest();
+  };
+
+  const size_t kBlobs = 160;
+  const size_t kThreads = 8;
+  auto blobs = test_blobs(kBlobs);
+
+  // Sequential single-shard reference with the same intern multiplicity.
+  pipeline::DedupStore reference{pipeline::DedupStore::Options{
+      1, pipeline::DedupStore::HashFn(masked_hash)}};
+  std::vector<pipeline::DedupStore::Id> reference_ids(kBlobs);
+  for (size_t r = 0; r < kThreads; ++r) {
+    for (size_t i = 0; i < kBlobs; ++i) {
+      reference_ids[i] = reference.intern(blobs[i]).id;
+    }
+  }
+  pipeline::DedupStore::Stats expected = reference.stats();
+  EXPECT_EQ(expected.entries, kBlobs);
+  EXPECT_EQ(expected.misses, kBlobs);
+  EXPECT_EQ(expected.hits, kThreads * kBlobs - kBlobs);
+  EXPECT_GT(expected.collisions, 0u) << "mask failed to force collisions";
+
+  // Blobs whose primary id is unique never enter a collision chain, so their
+  // id is race-free and must match the reference exactly.
+  std::unordered_map<pipeline::DedupStore::Id, size_t> primary_count;
+  for (const auto& blob : blobs) ++primary_count[masked_hash(blob, 0)];
+
+  for (size_t shards : {1u, 2u, 8u, 16u}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    pipeline::DedupStore store{pipeline::DedupStore::Options{
+        shards, pipeline::DedupStore::HashFn(masked_hash)}};
+    EXPECT_EQ(store.shard_count(), shards);
+
+    std::vector<std::vector<pipeline::DedupStore::Id>> ids(
+        kThreads, std::vector<pipeline::DedupStore::Id>(kBlobs));
+    std::vector<std::thread> pool;
+    for (size_t t = 0; t < kThreads; ++t) {
+      pool.emplace_back([&, t]() {
+        for (size_t k = 0; k < kBlobs; ++k) {
+          size_t i = (k + t * 13) % kBlobs;  // rotated orders race the inserts
+          ids[t][i] = store.intern(blobs[i]).id;
+        }
+      });
+    }
+    for (std::thread& th : pool) th.join();
+
+    for (size_t i = 0; i < kBlobs; ++i) {
+      // Which content wins the contested primary slot is a race, but every
+      // thread must still have observed ONE winner per content...
+      for (size_t t = 1; t < kThreads; ++t) {
+        EXPECT_EQ(ids[t][i], ids[0][i]) << "blob " << i << " thread " << t;
+      }
+      // ...the id must round-trip to the exact bytes...
+      const std::vector<uint8_t>* stored = store.lookup(ids[0][i]);
+      ASSERT_NE(stored, nullptr) << "blob " << i;
+      EXPECT_EQ(*stored, blobs[i]) << "blob " << i;
+      // ...a fresh intern re-walks to the same id...
+      EXPECT_EQ(store.intern(blobs[i]).id, ids[0][i]) << "blob " << i;
+      // ...and uncontested ids match the sequential reference bit for bit.
+      if (primary_count[masked_hash(blobs[i], 0)] == 1) {
+        EXPECT_EQ(ids[0][i], reference_ids[i]) << "blob " << i;
+      }
+    }
+
+    // Totals match the sequential reference whatever the shard count. The
+    // per-blob re-walk checks above added exactly kBlobs extra hits (and
+    // their bytes) on top of the concurrent phase.
+    pipeline::DedupStore::Stats stats = store.stats();
+    EXPECT_EQ(stats.entries, expected.entries);
+    EXPECT_EQ(stats.misses, expected.misses);
+    EXPECT_EQ(stats.hits, expected.hits + kBlobs);
+    EXPECT_EQ(stats.bytes_stored, expected.bytes_stored);
+    EXPECT_EQ(stats.bytes_deduped,
+              expected.bytes_deduped + expected.bytes_stored);
+    EXPECT_EQ(stats.collisions, expected.collisions);
+  }
+}
+
+TEST(DedupStore, ShardCountNormalizesToPowerOfTwo) {
+  const std::vector<std::pair<size_t, size_t>> cases = {
+      {0, 1}, {1, 1}, {3, 4}, {16, 16}, {100, 128}, {256, 256}, {1000, 256}};
+  for (auto [requested, expect] : cases) {
+    pipeline::DedupStore store{pipeline::DedupStore::Options{requested, {}}};
+    EXPECT_EQ(store.shard_count(), expect) << "requested " << requested;
+  }
+}
+
 TEST(DedupStore, IdenticalAppsInternToFullHits) {
   // Two reveals of the same app produce identical trees, so the second
   // intern_collection is all hits — the "repeated executions stored once"
@@ -263,6 +364,82 @@ TEST(BatchPipeline, DeterministicAcrossThreadCounts) {
     pipeline::BatchReport report = pipeline::run_batch(jobs, options);
     SCOPED_TRACE("threads=" + std::to_string(threads));
     expect_identical_reports(reference, report);
+  }
+}
+
+TEST(BatchPipeline, DeterministicAcrossStoreShardCounts) {
+  // The other axis of the scheduling-independence contract: the private
+  // store's shard count is a pure throughput knob. A high-overlap corpus
+  // (where almost every library body dedups) plus DroidBench samples must
+  // come out byte-identical whether the store has 1 shard or 16 — and at a
+  // parallel thread count, so shard races actually happen.
+  std::vector<pipeline::BatchJob> jobs = pipeline::large_corpus_jobs(10);
+  suite::DroidBench bench = suite::build_droidbench();
+  for (const char* name : {"Button1", "Clean1"}) {
+    const suite::Sample* sample = bench.find(name);
+    ASSERT_NE(sample, nullptr) << name;
+    pipeline::BatchJob job;
+    job.name = sample->name;
+    job.scenario = "droidbench";
+    job.apk = sample->apk;
+    job.configure_runtime = sample->configure_runtime;
+    jobs.push_back(std::move(job));
+  }
+
+  pipeline::BatchOptions baseline;
+  baseline.threads = 1;
+  baseline.store_shards = 1;
+  pipeline::BatchReport reference = pipeline::run_batch(jobs, baseline);
+  ASSERT_EQ(reference.fleet.ok, jobs.size());
+  for (size_t shards : {2u, 8u, 16u}) {
+    pipeline::BatchOptions options;
+    options.threads = 4;
+    options.store_shards = shards;
+    pipeline::BatchReport report = pipeline::run_batch(jobs, options);
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    expect_identical_reports(reference, report);
+  }
+}
+
+// --- the large_corpus scenario: the 10k-app scaling population --------------
+
+TEST(BatchPipeline, LargeCorpusIsDeterministic) {
+  std::vector<pipeline::BatchJob> a = pipeline::large_corpus_jobs(20);
+  std::vector<pipeline::BatchJob> b = pipeline::large_corpus_jobs(20);
+  ASSERT_EQ(a.size(), 20u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].scenario, "large_corpus");
+    EXPECT_EQ(a[i].apk.write(), b[i].apk.write()) << a[i].name;
+  }
+  // A different base seed is a different market.
+  std::vector<pipeline::BatchJob> c = pipeline::large_corpus_jobs(20, 7777);
+  bool any_differs = false;
+  for (size_t i = 0; i < c.size(); ++i) {
+    any_differs |= c[i].apk.write() != a[i].apk.write();
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(BatchPipeline, LargeCorpusHasMarketStyleOverlapAndVerifies) {
+  // The scenario exists to make fleet-level dedup meaningful: shared library
+  // seeds recur across apps with a popularity skew, so the hit rate must be
+  // market-like (roughly half the interned bodies dedup), not the ~14%
+  // DroidBench shows — while every app still reveals and verifies.
+  std::vector<pipeline::BatchJob> jobs = pipeline::large_corpus_jobs(120);
+  pipeline::BatchOptions options;
+  options.threads = 1;
+  options.keep_dex = false;
+  pipeline::BatchReport report = pipeline::run_batch(jobs, options);
+  EXPECT_EQ(report.fleet.ok, jobs.size());
+  EXPECT_EQ(report.fleet.verified, jobs.size());
+  EXPECT_GT(report.fleet.dedup_hit_rate, 0.35)
+      << "library overlap collapsed: hit rate "
+      << report.fleet.dedup_hit_rate;
+  // Distinct apps, not clones: unique app code keeps fingerprints apart.
+  for (size_t i = 1; i < report.jobs.size(); ++i) {
+    EXPECT_NE(report.jobs[i].dex_fingerprint, report.jobs[0].dex_fingerprint)
+        << report.jobs[i].name;
   }
 }
 
@@ -512,68 +689,12 @@ TEST(ForcePipeline, FailedForceJobIsIsolated) {
   EXPECT_EQ(report.fleet.ok, 2u);
 }
 
-// CPUs this process can actually use: hardware_concurrency() capped by the
-// cgroup v2 cpu.max quota (Kubernetes-style `cpu:` limits throttle below
-// the visible core count without shrinking the affinity mask).
-double effective_cpus() {
-  double cpus = std::thread::hardware_concurrency();
-  std::ifstream cpu_max("/sys/fs/cgroup/cpu.max");
-  if (cpu_max) {
-    std::string quota;
-    long period = 0;
-    if (cpu_max >> quota >> period && quota != "max" && period > 0) {
-      double limit = std::strtod(quota.c_str(), nullptr) / period;
-      if (limit > 0.0 && limit < cpus) cpus = limit;
-    }
-  }
-  return cpus;
-}
-
-TEST(BatchPipeline, ParallelScalingEfficiency) {
-  // Always-run scaling check (this used to GTEST_SKIP below 8 usable CPUs,
-  // which meant quota-throttled CI never measured anything). The thread
-  // count adapts to what the container actually grants, the hard bar only
-  // asserts that threading is not a pessimization, and the measured speedup
-  // is always reported so regressions are visible in the log even where the
-  // environment can't support a strict multiple.
-  const size_t threads = static_cast<size_t>(
-      std::clamp(effective_cpus(), 2.0, 8.0));
-  // Replicate to lengthen the run and dampen timing noise.
-  std::vector<pipeline::BatchJob> jobs =
-      pipeline::replicate_jobs(pipeline::droidbench_jobs(), 4);
-  pipeline::BatchOptions sequential;
-  sequential.threads = 1;
-  sequential.keep_dex = false;
-  pipeline::BatchOptions parallel;
-  parallel.threads = threads;
-  parallel.keep_dex = false;
-
-  // Wall-clock ratios are load-sensitive even though the suite is marked
-  // RUN_SERIAL in CTest, so take the best of a few attempts.
-  double best = 0.0;
-  double seq_ms = 0.0, par_ms = 0.0;
-  for (int attempt = 0; attempt < 3 && best < 3.0; ++attempt) {
-    seq_ms = pipeline::run_batch(jobs, sequential).fleet.wall_ms;
-    par_ms = pipeline::run_batch(jobs, parallel).fleet.wall_ms;
-    if (par_ms > 0.0) best = std::max(best, seq_ms / par_ms);
-  }
-  const double efficiency = best / static_cast<double>(threads);
-  RecordProperty("threads", static_cast<int>(threads));
-  RecordProperty("speedup_x100", static_cast<int>(best * 100));
-  std::printf(
-      "[ scaling ] %zu threads: best speedup %.2fx over sequential "
-      "(%.1f ms vs %.1f ms, %.0f%% parallel efficiency)\n",
-      threads, best, seq_ms, par_ms, efficiency * 100.0);
-  // Threading must never LOSE to sequential by 2x; on machines with >= 8
-  // real cores the paper-style bar (>= 3x at 8 threads) still applies.
-  EXPECT_GE(best, 0.5) << "parallel run slower than sequential: " << seq_ms
-                       << " ms vs " << par_ms << " ms at " << threads
-                       << " threads";
-  if (effective_cpus() >= 8.0) {
-    EXPECT_GE(best, 3.0) << "best of 3: sequential " << seq_ms
-                         << " ms vs 8-thread " << par_ms << " ms";
-  }
-}
+// Wall-clock scaling is no longer asserted here: a timing-ratio unit test is
+// either vacuous (0.5x bar) or flaky under CI load, and the real measurement
+// lives in bench/pipeline_throughput, which ci.sh gates at >= 2x on 4
+// threads whenever the host actually has 4 hardware threads. This suite owns
+// what a unit test CAN own — byte-identity and stats-identity across every
+// thread and shard count.
 
 }  // namespace
 }  // namespace dexlego
