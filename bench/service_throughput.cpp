@@ -1,0 +1,232 @@
+// Extraction-service throughput and the warm-vs-cold incremental speedup
+// (docs/SERVICE.md). Four phases over one persistent store directory:
+//
+//   cold_v0        fresh store, the base large_corpus — every app extracts
+//   warm_identical service restart, the SAME corpus — every app must come
+//                  back warm from the manifest (zero re-extraction)
+//   warm_mutated   service restart, the updated corpus (every
+//                  --mutate-every-th app ships new code) — only mutated
+//                  apps extract
+//   cold_v1        the updated corpus through pipeline::run_batch on a
+//                  fresh in-memory store: the identity reference and the
+//                  denominator of the incremental speedup
+//
+// Every warm_mutated dex fingerprint is compared against cold_v1 — any
+// divergence is exit 1 (ARCHITECTURE invariant 14: warm incremental output
+// is byte-identical to a cold full run). Lines prefixed BENCH_JSON are
+// machine-readable, one per phase.
+//
+// Usage:
+//   service_throughput [--count N] [--threads T] [--mutate-every M]
+//                      [--min-warm-speedup X]
+//
+//   --count             corpus size (default 64)
+//   --threads           service worker count (0 = hardware threads)
+//   --mutate-every      update cadence: apps 0, M, 2M, ... change (default 10)
+//   --min-warm-speedup  exit 1 unless cold_v1 wall / warm_mutated wall
+//                       reaches X (ci.sh gates this; default 0 = report only)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/pipeline/batch.h"
+#include "src/pipeline/scenarios.h"
+#include "src/service/service.h"
+
+using namespace dexlego;
+
+namespace {
+
+struct PhaseResult {
+  double wall_ms = 0.0;
+  size_t jobs = 0;
+  size_t ok = 0;
+  size_t incremental = 0;
+  uint64_t methods_new = 0;
+  uint64_t methods_reused = 0;
+  size_t store_entries = 0;
+  std::vector<uint64_t> fingerprints;
+};
+
+PhaseResult run_service_phase(const std::string& dir, size_t threads,
+                              std::vector<pipeline::BatchJob> jobs) {
+  PhaseResult out;
+  out.jobs = jobs.size();
+  service::ServiceOptions options;
+  options.threads = threads;
+  options.keep_dex = false;  // fingerprints suffice; keep the bench lean
+  service::ExtractionService svc(dir, options);
+  bench::Stopwatch wall;
+  std::vector<service::JobId> ids = svc.submit_batch(std::move(jobs));
+  for (service::JobId id : ids) {
+    service::JobStatus status = svc.wait(id);
+    if (status.state == service::JobState::kDone) ++out.ok;
+    if (status.incremental) ++out.incremental;
+    out.methods_new += status.methods_new;
+    out.methods_reused += status.methods_reused;
+    out.fingerprints.push_back(status.result.dex_fingerprint);
+  }
+  out.wall_ms = wall.elapsed_ms();
+  svc.checkpoint();
+  out.store_entries = svc.store().stats().entries;
+  return out;
+}
+
+void print_phase(const char* phase, const PhaseResult& r, size_t threads,
+                 double speedup_vs_cold) {
+  std::printf(
+      "%-15s %5zu jobs  %8.1f ms  %7.1f apps/sec  %4zu warm  "
+      "%6llu new / %6llu reused  store %zu",
+      phase, r.jobs, r.wall_ms,
+      r.wall_ms > 0 ? r.jobs * 1000.0 / r.wall_ms : 0.0, r.incremental,
+      static_cast<unsigned long long>(r.methods_new),
+      static_cast<unsigned long long>(r.methods_reused), r.store_entries);
+  if (speedup_vs_cold > 0) std::printf("  %.2fx vs cold", speedup_vs_cold);
+  std::printf("\n");
+  std::printf(
+      "BENCH_JSON {\"bench\":\"service_throughput\",\"phase\":\"%s\","
+      "\"jobs\":%zu,\"threads\":%zu,\"wall_ms\":%.2f,\"apps_per_sec\":%.2f,"
+      "\"incremental_jobs\":%zu,\"methods_new\":%llu,\"methods_reused\":%llu,"
+      "\"store_entries\":%zu,\"speedup_vs_cold\":%.3f}\n",
+      phase, r.jobs, threads, r.wall_ms,
+      r.wall_ms > 0 ? r.jobs * 1000.0 / r.wall_ms : 0.0, r.incremental,
+      static_cast<unsigned long long>(r.methods_new),
+      static_cast<unsigned long long>(r.methods_reused), r.store_entries,
+      speedup_vs_cold);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t count = 64;
+  size_t threads = 0;
+  size_t mutate_every = 10;
+  double min_warm_speedup = 0.0;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    auto next_number = [&](long min, long max) -> long {
+      const char* text = next();
+      char* end = nullptr;
+      long value = std::strtol(text, &end, 10);
+      if (end == text || *end != '\0' || value < min || value > max) {
+        std::fprintf(stderr, "%s: invalid value '%s'\n", arg.c_str(), text);
+        std::exit(2);
+      }
+      return value;
+    };
+    if (arg == "--count") {
+      count = static_cast<size_t>(next_number(2, 100000));
+    } else if (arg == "--threads") {
+      threads = static_cast<size_t>(next_number(0, 4096));
+    } else if (arg == "--mutate-every") {
+      mutate_every = static_cast<size_t>(next_number(1, 100000));
+    } else if (arg == "--min-warm-speedup") {
+      const char* text = next();
+      char* end = nullptr;
+      min_warm_speedup = std::strtod(text, &end);
+      if (end == text || *end != '\0' || min_warm_speedup < 0) {
+        std::fprintf(stderr, "--min-warm-speedup: invalid '%s'\n", text);
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() /
+       ("dexlego_service_bench_" + std::to_string(::getpid())))
+          .string();
+  fs::remove_all(dir);
+
+  bench::print_header("extraction service: cold vs incremental");
+  int failed = 0;
+  {
+    PhaseResult cold_v0 = run_service_phase(
+        dir, threads, pipeline::large_corpus_jobs(count));
+    print_phase("cold_v0", cold_v0, threads, 0.0);
+
+    PhaseResult warm_identical = run_service_phase(
+        dir, threads, pipeline::large_corpus_jobs(count));
+    print_phase("warm_identical", warm_identical, threads,
+                warm_identical.wall_ms > 0
+                    ? cold_v0.wall_ms / warm_identical.wall_ms
+                    : 0.0);
+    if (warm_identical.incremental != count || warm_identical.methods_new) {
+      std::fprintf(stderr,
+                   "FAIL: identical resubmit not fully warm (%zu/%zu warm, "
+                   "%llu new)\n",
+                   warm_identical.incremental, count,
+                   static_cast<unsigned long long>(warm_identical.methods_new));
+      failed = 1;
+    }
+
+    std::vector<pipeline::BatchJob> updated = pipeline::large_corpus_update_jobs(
+        count, 1701, 900, 48, mutate_every);
+    PhaseResult warm_mutated =
+        run_service_phase(dir, threads, std::move(updated));
+
+    // Cold reference for the same updated corpus: in-memory run_batch.
+    std::vector<pipeline::BatchJob> reference = pipeline::large_corpus_update_jobs(
+        count, 1701, 900, 48, mutate_every);
+    bench::Stopwatch cold_wall;
+    pipeline::BatchOptions batch_options;
+    batch_options.threads = threads;
+    batch_options.keep_dex = false;
+    pipeline::BatchReport cold_v1 =
+        pipeline::run_batch(reference, batch_options);
+    const double cold_v1_ms = cold_wall.elapsed_ms();
+    const double speedup =
+        warm_mutated.wall_ms > 0 ? cold_v1_ms / warm_mutated.wall_ms : 0.0;
+    print_phase("warm_mutated", warm_mutated, threads, speedup);
+
+    PhaseResult cold_phase;
+    cold_phase.jobs = cold_v1.jobs.size();
+    cold_phase.ok = cold_v1.fleet.ok;
+    cold_phase.wall_ms = cold_v1_ms;
+    cold_phase.methods_new = cold_v1.fleet.dedup_misses;
+    cold_phase.methods_reused = cold_v1.fleet.dedup_hits;
+    cold_phase.store_entries = cold_v1.fleet.store.entries;
+    print_phase("cold_v1", cold_phase, threads, 0.0);
+
+    size_t mismatches = 0;
+    for (size_t i = 0; i < cold_v1.jobs.size(); ++i) {
+      if (warm_mutated.fingerprints[i] != cold_v1.jobs[i].dex_fingerprint) {
+        ++mismatches;
+        std::fprintf(stderr, "IDENTITY MISMATCH: %s\n",
+                     cold_v1.jobs[i].name.c_str());
+      }
+    }
+    std::printf("identity: %zu/%zu warm fingerprints == cold full run\n",
+                cold_v1.jobs.size() - mismatches, cold_v1.jobs.size());
+    if (mismatches > 0) failed = 1;
+    if (warm_mutated.ok != count) {
+      std::fprintf(stderr, "FAIL: %zu/%zu jobs ok in warm_mutated\n",
+                   warm_mutated.ok, count);
+      failed = 1;
+    }
+    if (min_warm_speedup > 0 && speedup < min_warm_speedup) {
+      std::fprintf(stderr,
+                   "FAIL: warm_mutated speedup %.2fx below gate %.2fx\n",
+                   speedup, min_warm_speedup);
+      failed = 1;
+    }
+  }
+  fs::remove_all(dir);
+  return failed;
+}

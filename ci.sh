@@ -56,6 +56,23 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 "$BUILD_DIR"/examples/dexlego_batch --scenario large --count 8 \
   --threads 2 --shards 8 --compare-sequential --quiet
 
+# --- extraction service smoke ----------------------------------------------
+# The long-running service on a persistent store (docs/SERVICE.md): a cold
+# extraction of the market corpus head, then a RESTART of the service on the
+# same store directory with 10% of the apps mutated. The second run must
+# serve every unchanged app warm from the incremental manifest with zero new
+# method trees (--expect-incremental) and match a cold in-memory run of the
+# same corpus fingerprint-for-fingerprint (--compare-cold, ARCHITECTURE
+# invariant 14).
+service_store="$(mktemp -d)"
+"$BUILD_DIR"/examples/dexlego_service --store "$service_store/store" \
+  --corpus large --count 24 --threads 2 --quiet
+"$BUILD_DIR"/examples/dexlego_service --store "$service_store/store" \
+  --corpus large --count 24 --threads 2 --mutate-pct 10 \
+  --expect-incremental --compare-cold --quiet
+rm -rf "$service_store"
+echo "service smoke passed"
+
 # --- interpreter dispatch bench smoke --------------------------------------
 # Runs the three-tier dispatch bench (fallback vs cached vs threaded) and a
 # single-repeat pipeline throughput run, collecting their BENCH_JSON lines
@@ -152,6 +169,33 @@ fi
 rm -f "$scaling_out"
 echo "pipeline scaling passed ($pipeline_lines configs)"
 
+# --- service throughput bench ----------------------------------------------
+# Warm-vs-cold incremental extraction: the bench runs cold/base, identical
+# resubmit, mutated resubmit and a cold reference, fingerprint-compares warm
+# against cold internally, and exits non-zero below a 1.5x incremental
+# speedup — the measurable-speedup acceptance gate for the service.
+service_out="$(mktemp)"
+"$BUILD_DIR"/bench/service_throughput --count 48 --threads 2 \
+  --min-warm-speedup 1.5 | tee "$service_out"
+service_lines=0
+while IFS= read -r line; do
+  service_lines=$((service_lines + 1))
+  for key in bench phase jobs threads wall_ms apps_per_sec incremental_jobs \
+             methods_new methods_reused store_entries speedup_vs_cold; do
+    if ! grep -q "\"$key\":" <<<"$line"; then
+      echo "service bench: BENCH_JSON line missing key '$key': $line" >&2
+      exit 1
+    fi
+  done
+done < <(grep '^BENCH_JSON ' "$service_out")
+if [ "$service_lines" -ne 4 ]; then  # cold_v0, warm_identical, warm_mutated, cold_v1
+  echo "service bench: expected 4 BENCH_JSON lines, got $service_lines" >&2
+  exit 1
+fi
+grep '^BENCH_JSON ' "$service_out" | sed 's/^BENCH_JSON //' >> BENCH_interp.json
+rm -f "$service_out"
+echo "service bench passed ($service_lines phases)"
+
 # --- fuzz smoke ------------------------------------------------------------
 # A time-boxed fixed-seed differential-fuzzing campaign (docs/FUZZING.md).
 # Exit 1 means an unminimized divergence or crash survived to HEAD: the
@@ -165,8 +209,10 @@ echo "pipeline scaling passed ($pipeline_lines configs)"
 # scheduler drives; fuzz_test: the campaign worker pool sharing resolved
 # seeds; interp_cache_test's threaded cases: per-runtime predecode caches
 # under the campaign pool; dispatch_tier_test's threaded cases: concurrent
-# fused execution with self-modification and cache invalidation) under TSan
-# and runs them. interp_cache_test and dispatch_tier_test are filtered to
+# fused execution with self-modification and cache invalidation;
+# service_test: the persistent store's log appends under concurrent intern
+# plus the extraction service's worker pool, quotas and cancellation) under
+# TSan and runs them. interp_cache_test and dispatch_tier_test are filtered to
 # their thread-bearing cases — the full parity sweeps are single-threaded
 # and already run in the normal pass. Skipped where TSan can't compile,
 # link or execute (older toolchains, restricted sandboxes).
@@ -184,10 +230,11 @@ if c++ -fsanitize=thread -o "$tsan_probe/probe" "$tsan_probe/probe.cpp" \
     -DDEXLEGO_BUILD_BENCHES=OFF -DDEXLEGO_BUILD_EXAMPLES=OFF
   cmake --build "$TSAN_DIR" -j "$JOBS" \
     --target pipeline_test force_engine_test fuzz_test interp_cache_test \
-             dispatch_tier_test real_dex_test
+             dispatch_tier_test real_dex_test service_test
   "$TSAN_DIR"/tests/pipeline_test
   "$TSAN_DIR"/tests/force_engine_test
   "$TSAN_DIR"/tests/fuzz_test
+  "$TSAN_DIR"/tests/service_test
   "$TSAN_DIR"/tests/interp_cache_test --gtest_filter='InterpCacheThreads.*'
   "$TSAN_DIR"/tests/dispatch_tier_test --gtest_filter='DispatchTierThreads.*'
   # Container-equivalence runs the reveal pipeline end to end; under TSan it

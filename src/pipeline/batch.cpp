@@ -53,6 +53,8 @@ JobResult run_one(const BatchJob& job, DedupStore& store, bool keep_dex) {
     core::RevealResult reveal = dexlego.reveal(job.apk);
 
     InternedCollection interned = intern_collection(reveal.collection, store);
+    result.dedup_interns = interned.interns;
+    result.unique_trees = interned.unique_trees;
     result.dedup_hits = interned.hits;
     result.dedup_misses = interned.misses;
 
@@ -171,6 +173,8 @@ void finalize_force_app(AppState& app, DedupStore& store, bool keep_dex) {
         files, app.job->apk, app.job->reveal.reassemble);
 
     InternedCollection interned = intern_collection(reveal.collection, store);
+    result.dedup_interns = interned.interns;
+    result.unique_trees = interned.unique_trees;
     result.dedup_hits = interned.hits;
     result.dedup_misses = interned.misses;
 
@@ -216,6 +220,9 @@ void advance_force_app(AppState& app, DedupStore& store, bool keep_dex) {
     } catch (const std::exception& e) {
       app.failed = true;
       app.result.error = std::string("force engine: ") + e.what();
+    } catch (...) {
+      app.failed = true;
+      app.result.error = "force engine: non-std exception";
     }
   }
 
@@ -256,6 +263,14 @@ void advance_force_app(AppState& app, DedupStore& store, bool keep_dex) {
     app.result.error = e.what();
     app.wave_units.clear();
     app.wave_outputs.clear();
+  } catch (...) {
+    // Fail closed: a non-std throw (hostile native code can raise anything)
+    // must cost this job, not the worker thread — an escape here would
+    // std::terminate the whole fleet.
+    app.failed = true;
+    app.result.error = "unknown exception (non-std type)";
+    app.wave_units.clear();
+    app.wave_outputs.clear();
   }
   if (!app.wave_units.empty()) {
     app.wave_outputs = std::vector<UnitOutput>(app.wave_units.size());
@@ -271,6 +286,34 @@ void advance_force_app(AppState& app, DedupStore& store, bool keep_dex) {
 }
 
 }  // namespace
+
+JobResult run_job(const BatchJob& job, DedupStore& store, bool keep_dex) {
+  if (!job.force) return run_one(job, store, keep_dex);
+
+  // Force job, inline: the same baseline + wave machinery run_batch shards
+  // across workers, executed serially on the calling thread. advance_force_app
+  // owns the fold/frontier/finalize logic in both cases, so the output is
+  // byte-identical to the sharded path (tests/service_test.cpp anchors this).
+  support::Stopwatch wall;
+  AppState app;
+  app.job = &job;
+  app.classic = false;
+  app.result.name = job.name;
+  app.result.scenario = job.scenario;
+  app.result.expect_leak = job.expect_leak;
+  app.wave_units.push_back(coverage::PlanUnit{});  // baseline run
+  app.wave_outputs = std::vector<UnitOutput>(1);
+  app.outstanding = 1;
+  while (!app.wave_units.empty()) {
+    for (size_t s = 0; s < app.wave_units.size(); ++s) {
+      app.wave_outputs[s] = run_unit(job, app.wave_units[s]);
+    }
+    advance_force_app(app, store, keep_dex);
+  }
+  app.result.ok = app.result.ok && !app.failed;
+  app.result.wall_ms = wall.elapsed_ms();
+  return std::move(app.result);
+}
 
 BatchReport run_batch(const std::vector<BatchJob>& jobs,
                       const BatchOptions& options) {
@@ -465,6 +508,8 @@ BatchReport run_batch(const std::vector<BatchJob>& jobs,
     fleet.mean_instruction_coverage += job.instruction_coverage;
     fleet.mean_branch_coverage += job.branch_coverage;
     fleet.forced_paths += job.force_paths;
+    fleet.dedup_interns += job.dedup_interns;
+    fleet.unique_trees += job.unique_trees;
     fleet.dedup_hits += job.dedup_hits;
     fleet.dedup_misses += job.dedup_misses;
     fleet.cpu_ms += job.cpu_ms;

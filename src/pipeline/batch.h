@@ -52,8 +52,12 @@ struct BatchJob {
 };
 
 // Everything measured about one job. `dex` is the reassembled classes.ldex
-// (the byte-identity anchor); dedup hit/miss attribution depends on worker
-// scheduling — see docs/PIPELINE.md — but all other fields are deterministic.
+// (the byte-identity anchor). Dedup attribution is split into deterministic
+// counters (`dedup_interns`, `unique_trees` — pure functions of this job's
+// collection, identical at any thread count) and the advisory first-insert
+// split (`dedup_hits`/`dedup_misses` — which job pays the miss for a shared
+// body depends on worker scheduling; their SUM equals `dedup_interns` and is
+// deterministic). All other fields except the timings are deterministic.
 struct JobResult {
   std::string name;
   std::string scenario;
@@ -70,8 +74,10 @@ struct JobResult {
   int force_waves = 0;                // frontier rounds the engine issued
   core::ReassembleStats reassemble;
   size_t collection_bytes = 0;  // five-file total (Table VI metric)
-  uint64_t dedup_hits = 0;
-  uint64_t dedup_misses = 0;
+  uint64_t dedup_interns = 0;   // deterministic: trees offered to the store
+  uint64_t unique_trees = 0;    // deterministic: distinct tree ids in this job
+  uint64_t dedup_hits = 0;      // advisory: content already present
+  uint64_t dedup_misses = 0;    // advisory: this job inserted first
 
   uint64_t dex_fingerprint = 0;  // fnv1a of `dex`
   std::vector<uint8_t> dex;      // revealed classes.ldex (empty if !keep_dex)
@@ -93,9 +99,11 @@ struct FleetStats {
   double mean_branch_coverage = 0.0;
   size_t forced_paths = 0;  // forced plan units across the fleet
 
-  DedupStore::Stats store;  // snapshot after the batch
-  uint64_t dedup_hits = 0;  // this batch's interns only
-  uint64_t dedup_misses = 0;
+  DedupStore::Stats store;     // snapshot after the batch
+  uint64_t dedup_interns = 0;  // deterministic: sum of per-job dedup_interns
+  uint64_t unique_trees = 0;   // deterministic: sum of per-job unique_trees
+  uint64_t dedup_hits = 0;     // this batch's interns only; hits + misses ==
+  uint64_t dedup_misses = 0;   // dedup_interns on every schedule
   double dedup_hit_rate = 0.0;
 
   double wall_ms = 0.0;  // whole-batch wall time
@@ -133,9 +141,19 @@ struct BatchOptions {
 };
 
 // Runs every job and returns per-job results in input order plus fleet
-// stats. Never throws for job failures: a worker exception lands in
-// JobResult::{ok,error} and the remaining jobs still run.
+// stats. Never throws for job failures: a worker exception — std:: or not —
+// lands in JobResult::{ok,error} and the remaining jobs still run.
 BatchReport run_batch(const std::vector<BatchJob>& jobs,
                       const BatchOptions& options = {});
+
+// Runs ONE job start-to-finish on the calling thread, interning into
+// `store`: the exact per-job path run_batch's workers execute (classic jobs
+// through the single-unit reveal; force jobs through baseline + waves,
+// folded in plan order — the waves just run serially here instead of
+// sharding across a pool). The extraction service's workers use this to
+// multiplex many tenants' jobs onto one queue while reusing the batch
+// semantics bit for bit. Fail-closed like run_batch: never throws for job
+// failures.
+JobResult run_job(const BatchJob& job, DedupStore& store, bool keep_dex = true);
 
 }  // namespace dexlego::pipeline

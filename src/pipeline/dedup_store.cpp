@@ -2,6 +2,7 @@
 
 #include <mutex>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "src/core/files.h"
 #include "src/support/hash.h"
@@ -107,6 +108,10 @@ DedupStore::InternResult DedupStore::intern(std::vector<uint8_t>&& content) {
       DL_WARN << "dedup store hash collision; content re-keyed to id " << id
               << " after " << (salt - 1) << " salted re-hashes";
     }
+    // Write-ahead hook before the entry becomes visible: a persistence
+    // subclass appends to its shard log here, so memory never holds an
+    // entry the log does not (a throw aborts the intern pre-insert).
+    persist(id, content);
     shard.bytes_stored.fetch_add(content.size(), std::memory_order_relaxed);
     shard.misses.fetch_add(1, std::memory_order_relaxed);
     shard.entries.emplace(id, std::move(content));
@@ -121,6 +126,16 @@ const std::vector<uint8_t>* DedupStore::lookup(Id id) const {
   // Values are heap nodes in the map; the pointer outlives the lock because
   // entries are never erased and rehashing moves buckets, not values.
   return it == shard.entries.end() ? nullptr : &it->second;
+}
+
+void DedupStore::reset_intern_counters() {
+  for (Shard& shard : shards_) {
+    std::unique_lock<std::shared_mutex> write(shard.mu);
+    shard.hits.store(0, std::memory_order_relaxed);
+    shard.misses.store(0, std::memory_order_relaxed);
+    shard.bytes_deduped.store(0, std::memory_order_relaxed);
+    shard.collisions.store(0, std::memory_order_relaxed);
+  }
 }
 
 DedupStore::Stats DedupStore::stats() const {
@@ -141,6 +156,7 @@ DedupStore::Stats DedupStore::stats() const {
 InternedCollection intern_collection(const core::CollectionOutput& output,
                                      DedupStore& store) {
   InternedCollection interned;
+  std::unordered_set<DedupStore::Id> seen;
   for (const auto& [key, rec] : output.methods) {
     std::vector<DedupStore::Id>& ids = interned.tree_ids[key];
     for (const auto& tree : rec.trees) {
@@ -150,6 +166,8 @@ InternedCollection intern_collection(const core::CollectionOutput& output,
       DedupStore::InternResult result =
           store.intern(core::serialize_tree(*tree));
       ids.push_back(result.id);
+      ++interned.interns;
+      if (seen.insert(result.id).second) ++interned.unique_trees;
       if (result.inserted) {
         ++interned.misses;
       } else {

@@ -62,6 +62,9 @@ class DedupStore {
   DedupStore();
   explicit DedupStore(HashFn hash);
   explicit DedupStore(Options options);
+  virtual ~DedupStore() = default;
+  DedupStore(const DedupStore&) = delete;
+  DedupStore& operator=(const DedupStore&) = delete;
 
   // Power-of-two shard count this store actually runs with.
   size_t shard_count() const { return shards_.size(); }
@@ -113,6 +116,32 @@ class DedupStore {
   // only the per-shard split varies with the shard count.
   Stats stats() const;
 
+  // Zeroes the intern counters (hits, misses, bytes_deduped, collisions)
+  // while keeping entries and bytes_stored, which describe resident content.
+  // The persistent store calls this after log replay so a reopened store
+  // reports only the interns performed *since* open, not the replay's.
+  // Not safe concurrently with intern().
+  void reset_intern_counters();
+
+ protected:
+  // Write-ahead hook, called on the miss path with the final (possibly
+  // collision-re-keyed) id immediately BEFORE the in-memory insert, while the
+  // owning shard's exclusive lock is held. The base store is purely
+  // in-memory, so this is a no-op; service::PersistentDedupStore overrides it
+  // to append the content to the shard's durable log. A throw here aborts
+  // the intern before the memory insert, so an entry is never visible in
+  // memory without having reached the log first (write-ahead ordering).
+  virtual void persist(Id id, std::span<const uint8_t> content) {
+    (void)id;
+    (void)content;
+  }
+
+  // Shard index for an id — the same mapping shard_for uses, exposed so a
+  // persistence subclass can mirror the memory sharding with one log file
+  // per shard (persist then runs under that shard's exclusive lock, making
+  // per-log append ordering free).
+  size_t shard_index(Id id) const { return (id >> 56) & (shards_.size() - 1); }
+
  private:
   // One shard: its slice of the id space plus its own stat counters. The
   // counters are atomics so the hit fast path can bump them under the
@@ -143,13 +172,20 @@ class DedupStore {
 };
 
 // Result of interning one app's collection output: the tree ids per method,
-// plus this call's hit/miss split. Which app pays the miss for a shared body
-// depends on worker scheduling; only fleet-wide totals are deterministic
-// (see docs/PIPELINE.md).
+// plus this call's attribution counters. `interns` (total trees offered) and
+// `unique_trees` (distinct content ids within THIS collection) are pure
+// functions of the collection and therefore deterministic across thread
+// counts and schedules. `hits`/`misses` split the interns by whether the
+// shared store already held the content — advisory first-insert attribution:
+// when two concurrent jobs share a body, which one pays the miss depends on
+// scheduling. Fleet totals (hits + misses, store entries/bytes) stay
+// deterministic; see docs/PIPELINE.md "Dedup store semantics".
 struct InternedCollection {
   std::map<core::MethodKey, std::vector<DedupStore::Id>> tree_ids;
-  uint64_t hits = 0;
-  uint64_t misses = 0;
+  uint64_t interns = 0;       // deterministic: trees offered to the store
+  uint64_t unique_trees = 0;  // deterministic: distinct ids in this collection
+  uint64_t hits = 0;          // advisory: content already present
+  uint64_t misses = 0;        // advisory: this job inserted first
 };
 
 // Serializes every collection tree of `output` (core::serialize_tree) and

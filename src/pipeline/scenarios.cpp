@@ -163,8 +163,20 @@ std::vector<BatchJob> realdex_jobs(size_t count, uint64_t seed0,
   return jobs;
 }
 
-std::vector<BatchJob> large_corpus_jobs(size_t count, uint64_t seed0,
-                                        size_t units, size_t library_pool) {
+namespace {
+
+// Shared generator behind large_corpus_jobs (version 0) and
+// large_corpus_update_jobs (version >= 1). One rng stream per app index
+// drives ALL structural draws (size jitter, library picks, library
+// fraction), so an app keeps its shape, name and libraries across versions;
+// a catalog update only re-seeds the app's OWN body stream for the mutated
+// subset. That makes version N a faithful "10% of the market shipped an
+// update" corpus: unmutated apps are byte-identical to version 0, mutated
+// apps change their unique code but still dedup their library bodies.
+std::vector<BatchJob> large_corpus_versioned(size_t count, uint64_t seed0,
+                                             size_t units, size_t library_pool,
+                                             size_t mutate_every,
+                                             uint64_t version) {
   if (library_pool < 1) library_pool = 1;
   if (units < 200) units = 200;
   std::vector<BatchJob> jobs;
@@ -172,10 +184,16 @@ std::vector<BatchJob> large_corpus_jobs(size_t count, uint64_t seed0,
   for (size_t i = 0; i < count; ++i) {
     support::Rng rng(seed0 + i);
 
+    const bool mutated =
+        version > 0 && mutate_every > 0 && i % mutate_every == 0;
     suite::AppSpec spec;
     spec.seed = seed0 + i;
-    spec.name = "mkt-s" + std::to_string(spec.seed);
-    spec.package = "mkt.s" + std::to_string(spec.seed);
+    // A mutated app is the SAME app (name, package, libraries) shipping new
+    // app-local code: only the body-stream seed moves, displaced far out of
+    // the per-app seed range so no version collides with another app.
+    if (mutated) spec.seed = seed0 + i + 0x5EED0000ull * version;
+    spec.name = "mkt-s" + std::to_string(seed0 + i);
+    spec.package = "mkt.s" + std::to_string(seed0 + i);
     // Sizes jitter 0.6x-1.4x around the target so the queue sees a mixed
     // workload instead of uniform quanta.
     spec.target_units =
@@ -206,6 +224,23 @@ std::vector<BatchJob> large_corpus_jobs(size_t count, uint64_t seed0,
     jobs.push_back(std::move(job));
   }
   return jobs;
+}
+
+}  // namespace
+
+std::vector<BatchJob> large_corpus_jobs(size_t count, uint64_t seed0,
+                                        size_t units, size_t library_pool) {
+  return large_corpus_versioned(count, seed0, units, library_pool,
+                                /*mutate_every=*/0, /*version=*/0);
+}
+
+std::vector<BatchJob> large_corpus_update_jobs(size_t count, uint64_t seed0,
+                                               size_t units,
+                                               size_t library_pool,
+                                               size_t mutate_every,
+                                               uint64_t version) {
+  return large_corpus_versioned(count, seed0, units, library_pool,
+                                mutate_every, version);
 }
 
 std::vector<BatchJob> fuzz_jobs(size_t count, uint64_t seed0) {

@@ -62,6 +62,21 @@ std::vector<BatchJob> large_corpus_jobs(size_t count, uint64_t seed0 = 1701,
                                         size_t units = 900,
                                         size_t library_pool = 48);
 
+// The same market corpus after a catalog update: every `mutate_every`-th app
+// (indices 0, mutate_every, ...) ships new app-local code — same name,
+// package, size class and embedded libraries, different body seed — while
+// every other app is byte-identical to large_corpus_jobs with the same
+// (count, seed0, units, library_pool). The incremental-extraction workload:
+// a warm service re-extracts only the mutated apps (docs/SERVICE.md).
+// `version` distinguishes successive updates (1, 2, ...); version 0 IS the
+// base corpus.
+std::vector<BatchJob> large_corpus_update_jobs(size_t count,
+                                               uint64_t seed0 = 1701,
+                                               size_t units = 900,
+                                               size_t library_pool = 48,
+                                               size_t mutate_every = 10,
+                                               uint64_t version = 1);
+
 // `count` hostile-but-valid apps from the fuzzer's mutator families
 // (docs/FUZZING.md): behavioral mutants (guard stacking, reflection mazes,
 // self-modifying writes, nested packing) plus verifier-clean bytecode

@@ -308,9 +308,17 @@ void expect_identical_reports(const pipeline::BatchReport& sequential,
     EXPECT_EQ(seq.forced_branches, par.forced_branches) << seq.name;
     EXPECT_EQ(seq.force_paths, par.force_paths) << seq.name;
     EXPECT_EQ(seq.force_waves, par.force_waves) << seq.name;
+    // Deterministic per-job dedup attribution: interns and unique trees are
+    // pure functions of the job's collection, so they must match at ANY
+    // schedule — unlike hits/misses, whose per-job split is advisory.
+    EXPECT_EQ(seq.dedup_interns, par.dedup_interns) << seq.name;
+    EXPECT_EQ(seq.unique_trees, par.unique_trees) << seq.name;
+    EXPECT_EQ(par.dedup_hits + par.dedup_misses, par.dedup_interns) << seq.name;
   }
-  // Per-job dedup attribution is scheduling-dependent; the fleet totals and
-  // the store contents are not.
+  // Per-job hit/miss attribution is scheduling-dependent; the fleet totals
+  // and the store contents are not.
+  EXPECT_EQ(sequential.fleet.dedup_interns, parallel.fleet.dedup_interns);
+  EXPECT_EQ(sequential.fleet.unique_trees, parallel.fleet.unique_trees);
   EXPECT_EQ(sequential.fleet.dedup_hits + sequential.fleet.dedup_misses,
             parallel.fleet.dedup_hits + parallel.fleet.dedup_misses);
   EXPECT_EQ(sequential.fleet.dedup_hits, parallel.fleet.dedup_hits);
@@ -514,6 +522,67 @@ TEST(BatchPipeline, WorkerFailureIsIsolated) {
   EXPECT_FALSE(report.jobs[1].error.empty());
   EXPECT_TRUE(report.jobs[2].ok);
   EXPECT_EQ(report.fleet.ok, 2u);
+}
+
+TEST(BatchPipeline, NonStdExceptionFailsClosed) {
+  // Workers must fail closed for ANY throw, not just std::exception — a
+  // hostile native-method shim can throw an arbitrary type. Both the
+  // classic single-unit path and the force-engine wave path are covered.
+  struct Boom {};
+  for (bool force : {false, true}) {
+    std::vector<pipeline::BatchJob> jobs = pipeline::generated_jobs(2);
+    pipeline::BatchJob broken;
+    broken.name = "nonstd-throw";
+    broken.apk = pipeline::generated_jobs(1)[0].apk;
+    broken.configure_runtime = [](rt::Runtime&) { throw Boom{}; };
+    broken.force = force;
+    jobs.insert(jobs.begin() + 1, std::move(broken));
+
+    pipeline::BatchReport report = pipeline::run_batch(jobs, {});
+    ASSERT_EQ(report.jobs.size(), 3u);
+    EXPECT_TRUE(report.jobs[0].ok) << "force=" << force;
+    EXPECT_FALSE(report.jobs[1].ok) << "force=" << force;
+    EXPECT_FALSE(report.jobs[1].error.empty()) << "force=" << force;
+    EXPECT_TRUE(report.jobs[2].ok) << "force=" << force;
+    EXPECT_EQ(report.fleet.ok, 2u) << "force=" << force;
+  }
+}
+
+TEST(BatchPipeline, DedupAttributionDeterministicAcrossThreadCounts) {
+  // The deterministic half of the attribution split: per-job interns and
+  // unique trees must be identical at every thread count on the scenario
+  // with real cross-app sharing, and the advisory hit/miss split must still
+  // sum to the deterministic intern count per job and fleet-wide.
+  std::vector<pipeline::BatchJob> jobs = pipeline::large_corpus_jobs(12);
+  pipeline::BatchOptions reference_options;
+  reference_options.threads = 1;
+  pipeline::BatchReport reference = pipeline::run_batch(jobs, reference_options);
+  ASSERT_EQ(reference.fleet.ok, jobs.size());
+  EXPECT_GT(reference.fleet.dedup_interns, 0u);
+  EXPECT_GT(reference.fleet.unique_trees, 0u);
+
+  for (size_t threads : {2u, 4u, 8u}) {
+    pipeline::BatchOptions options;
+    options.threads = threads;
+    pipeline::BatchReport report = pipeline::run_batch(jobs, options);
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      EXPECT_EQ(report.jobs[i].dedup_interns, reference.jobs[i].dedup_interns)
+          << report.jobs[i].name << " threads=" << threads;
+      EXPECT_EQ(report.jobs[i].unique_trees, reference.jobs[i].unique_trees)
+          << report.jobs[i].name << " threads=" << threads;
+      EXPECT_EQ(report.jobs[i].dedup_hits + report.jobs[i].dedup_misses,
+                report.jobs[i].dedup_interns)
+          << report.jobs[i].name << " threads=" << threads;
+    }
+    EXPECT_EQ(report.fleet.dedup_interns, reference.fleet.dedup_interns);
+    EXPECT_EQ(report.fleet.unique_trees, reference.fleet.unique_trees);
+    EXPECT_EQ(report.fleet.dedup_hits + report.fleet.dedup_misses,
+              report.fleet.dedup_interns);
+    EXPECT_EQ(report.fleet.dedup_hits, reference.fleet.dedup_hits);
+    EXPECT_EQ(report.fleet.store.entries, reference.fleet.store.entries);
+    EXPECT_EQ(report.fleet.store.bytes_stored,
+              reference.fleet.store.bytes_stored);
+  }
 }
 
 TEST(BatchPipeline, SharedStoreDedupsAcrossBatches) {
