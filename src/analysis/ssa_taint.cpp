@@ -1,0 +1,369 @@
+#include "src/analysis/ssa_taint.h"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/analysis/taint_core.h"
+#include "src/ir/ir.h"
+#include "src/ir/lift.h"
+#include "src/support/bytes.h"
+#include "src/support/log.h"
+
+namespace dexlego::analysis {
+
+using bc::Op;
+
+namespace {
+
+// SSA-based intra-method engine. Facts live on SSA values instead of per-pc
+// register frames: each value's fact is recomputed from its defining
+// instruction (or phi join over executable incoming edges), so the dataflow
+// is sparse and merges happen exactly at phi nodes. Value mutations that the
+// bytecode engine models by overwriting a register in place — aput tainting
+// the whole array, the value-sensitive StringBuilder <init> rebind — become
+// sticky side tables (`extra_taint`, `rebound`) folded back in whenever the
+// defining instruction is re-evaluated, which keeps every pass monotone.
+class SsaEngine final : public TaintCore {
+ public:
+  SsaEngine(const ToolConfig& cfg, const dex::DexFile& file)
+      : TaintCore(cfg, file) {}
+
+ private:
+  void analyze_method(AMethod& method) override;
+  const ir::Function* lifted(const AMethod& method);
+
+  // Lifted bodies are cached across global fixpoint rounds: lifting is the
+  // expensive part and the IR is immutable here.
+  std::map<const dex::MethodDef*, ir::Function> cache_;
+  std::set<const dex::MethodDef*> lift_failed_;
+};
+
+const ir::Function* SsaEngine::lifted(const AMethod& method) {
+  auto it = cache_.find(method.def);
+  if (it != cache_.end()) return &it->second;
+  if (lift_failed_.contains(method.def)) return nullptr;
+  try {
+    auto [ins, ok] = cache_.emplace(method.def, ir::lift_method(file_, *method.def));
+    (void)ok;
+    return &ins->second;
+  } catch (const std::exception& e) {
+    lift_failed_.insert(method.def);
+    DL_LOG(support::LogLevel::kWarn)
+        << "ssa-taint: cannot lift " << method.class_descriptor << "->"
+        << method.name << ": " << e.what();
+    return nullptr;
+  }
+}
+
+void SsaEngine::analyze_method(AMethod& method) {
+  const ir::Function* fnp = lifted(method);
+  if (fnp == nullptr) return;  // undecodable body: nothing to analyze
+  const ir::Function& fn = *fnp;
+
+  const size_t nvals = fn.values.size();
+  std::vector<AbsValue> facts(nvals);
+  std::vector<AbsValue> prev_facts;
+  std::vector<Taint> extra_taint(nvals, 0);
+  std::map<ir::ValueId, AbsValue> rebound;  // StringBuilder <init> receivers
+
+  // Per-block field-override state at entry, plus executability for
+  // constant-branch pruning (always on: facts are sparse, so a provably
+  // dead edge simply never joins).
+  std::vector<FieldOverrides> fields_in(fn.blocks.size());
+  std::vector<uint8_t> executable(fn.blocks.size(), 0);
+  std::set<std::pair<uint32_t, uint32_t>> exec_edges;
+  executable[0] = 1;
+
+  const size_t base = fn.registers_size - fn.ins_size;
+  auto seed_entry_defs = [&] {
+    for (ir::ValueId v = 0; v < nvals; ++v) {
+      const ir::Value& val = fn.values[v];
+      if (val.def_inst != ir::kEntryDef) continue;
+      AbsValue fact;
+      if (val.origin_reg >= static_cast<int32_t>(base) &&
+          val.origin_reg < static_cast<int32_t>(fn.registers_size)) {
+        size_t arg = static_cast<size_t>(val.origin_reg) - base;
+        if (arg < method.num_args && arg < static_cast<size_t>(kMaxArgs)) {
+          fact.taint = arg_token(arg);
+        }
+      }
+      fact.taint |= extra_taint[v];
+      facts[v] = fact;
+    }
+  };
+
+  auto fact_of = [&](ir::ValueId v) -> const AbsValue& { return facts[v]; };
+
+  bool local_changed = true;
+  const int kMaxPasses = 100;
+  for (int pass = 0; pass < kMaxPasses && local_changed; ++pass) {
+    local_changed = false;
+    seed_entry_defs();
+
+    for (const ir::Block& b : fn.blocks) {
+      if (!b.reachable || !executable[b.id]) continue;
+      FieldOverrides fields = fields_in[b.id];
+
+      // Phi joins over executable incoming edges only.
+      for (const ir::Phi& phi : b.phis) {
+        AbsValue merged;
+        bool first = true;
+        for (size_t j = 0; j < b.preds.size(); ++j) {
+          if (!exec_edges.contains({b.preds[j], b.id})) continue;
+          if (j >= phi.args.size() || phi.args[j] == ir::kNoValue) continue;
+          if (first) {
+            merged = fact_of(phi.args[j]);
+            first = false;
+          } else {
+            merged.merge(fact_of(phi.args[j]));
+          }
+        }
+        merged.taint |= extra_taint[phi.dest];
+        facts[phi.dest] = merged;
+      }
+
+      // Straight-line transfer. Instruction facts overwrite (recompute) and
+      // then fold in the sticky side tables.
+      std::optional<bool> branch_known;
+      for (const ir::Inst& inst : b.insts) {
+        Taint implicit = implicit_context(method, inst.orig_pc);
+        auto in = [&](size_t i) -> const AbsValue& {
+          return fact_of(inst.uses.at(i));
+        };
+        AbsValue out;
+        bool has_out = inst.def != ir::kNoValue;
+        switch (inst.src.op) {
+          case Op::kReturnVoid:
+          case Op::kThrow:
+            publish_overrides(fields);
+            break;
+          case Op::kReturn:
+            changed_ |= method.summary.merge_ret(in(0).taint);
+            publish_overrides(fields);
+            break;
+          case Op::kMove:
+          case Op::kMoveResult:
+            out = in(0);
+            break;
+          case Op::kConst16:
+          case Op::kConst32:
+          case Op::kConstWide:
+            out.int_const = inst.src.lit;
+            break;
+          case Op::kConstString:
+            out.str_const = file_.string_at(inst.src.idx);
+            break;
+          case Op::kConstNull:
+          case Op::kMoveException:
+          case Op::kNewArray:
+            break;  // fresh untainted value
+          case Op::kAdd:
+          case Op::kSub:
+          case Op::kMul:
+          case Op::kDiv:
+          case Op::kRem:
+          case Op::kAnd:
+          case Op::kOr:
+          case Op::kXor:
+          case Op::kShl:
+          case Op::kShr:
+          case Op::kCmp: {
+            out.taint = in(0).taint | in(1).taint;
+            if (in(0).int_const && in(1).int_const) {
+              int64_t x = *in(0).int_const, y = *in(1).int_const;
+              switch (inst.src.op) {
+                case Op::kAdd: out.int_const = x + y; break;
+                case Op::kSub: out.int_const = x - y; break;
+                case Op::kMul: out.int_const = x * y; break;
+                case Op::kXor: out.int_const = x ^ y; break;
+                default: break;  // leave unknown (div by zero etc.)
+              }
+            }
+            break;
+          }
+          case Op::kAddLit8:
+          case Op::kMulLit8:
+            out.taint = in(0).taint;
+            if (in(0).int_const) {
+              out.int_const = inst.src.op == Op::kAddLit8
+                                  ? *in(0).int_const + inst.src.lit
+                                  : *in(0).int_const * inst.src.lit;
+            }
+            break;
+          case Op::kNeg:
+          case Op::kNot:
+          case Op::kArrayLength:
+          case Op::kInstanceOf:
+            out.taint = in(0).taint;
+            break;
+          case Op::kNewInstance:
+            out.known_class = file_.type_descriptor(inst.src.idx);
+            break;
+          case Op::kAget:
+            out.taint = in(0).taint | in(1).taint;
+            break;
+          case Op::kAput: {
+            // Stores taint the whole array value, everywhere it flows.
+            Taint& slot = extra_taint[inst.uses.at(1)];
+            Taint merged = slot | in(0).taint;
+            if (merged != slot) {
+              slot = merged;
+              local_changed = true;
+            }
+            break;
+          }
+          case Op::kIget: {
+            const dex::FieldRef& f = file_.fields.at(inst.src.idx);
+            out.taint = in(0).taint |
+                        read_cell(fields,
+                                  field_key(file_.type_descriptor(f.class_type),
+                                            file_.string_at(f.name)));
+            break;
+          }
+          case Op::kIput: {
+            const dex::FieldRef& f = file_.fields.at(inst.src.idx);
+            write_cell(method, fields,
+                       field_key(file_.type_descriptor(f.class_type),
+                                 file_.string_at(f.name)),
+                       in(0).taint | implicit);
+            break;
+          }
+          case Op::kSget: {
+            const dex::FieldRef& f = file_.fields.at(inst.src.idx);
+            out.taint = read_cell(
+                fields, field_key(file_.type_descriptor(f.class_type),
+                                  file_.string_at(f.name)));
+            break;
+          }
+          case Op::kSput: {
+            const dex::FieldRef& f = file_.fields.at(inst.src.idx);
+            write_cell(method, fields,
+                       field_key(file_.type_descriptor(f.class_type),
+                                 file_.string_at(f.name)),
+                       in(0).taint | implicit);
+            break;
+          }
+          case Op::kInvokeVirtual:
+          case Op::kInvokeDirect:
+          case Op::kInvokeStatic: {
+            std::vector<AbsValue> args;
+            args.reserve(inst.uses.size());
+            for (ir::ValueId u : inst.uses) args.push_back(fact_of(u));
+            InvokeResult r = invoke_transfer(method, inst.src.op, inst.src.idx,
+                                             args);
+            out = r.result;
+            if (r.update_receiver && !inst.uses.empty()) {
+              auto [it, inserted] = rebound.emplace(inst.uses[0], r.receiver);
+              if (!inserted && !(it->second == r.receiver)) {
+                it->second = r.receiver;
+                local_changed = true;
+              } else if (inserted) {
+                local_changed = true;
+              }
+            }
+            break;
+          }
+          case Op::kIfEq:
+          case Op::kIfNe:
+          case Op::kIfLt:
+          case Op::kIfGe:
+          case Op::kIfGt:
+          case Op::kIfLe:
+          case Op::kIfEqz:
+          case Op::kIfNez:
+          case Op::kIfLtz:
+          case Op::kIfGez:
+          case Op::kIfGtz:
+          case Op::kIfLez: {
+            Taint cond = in(0).taint;
+            if (bc::is_two_reg_if(inst.src.op)) cond |= in(1).taint;
+            record_branch_taint(method, inst.orig_pc, cond);
+            // Constant-branch pruning, unconditionally: a branch whose
+            // condition folds to a constant has exactly one live edge.
+            const AbsValue& a = in(0);
+            if (!bc::is_two_reg_if(inst.src.op) && a.int_const) {
+              int64_t x = *a.int_const;
+              switch (inst.src.op) {
+                case Op::kIfEqz: branch_known = (x == 0); break;
+                case Op::kIfNez: branch_known = (x != 0); break;
+                case Op::kIfLtz: branch_known = (x < 0); break;
+                case Op::kIfGez: branch_known = (x >= 0); break;
+                case Op::kIfGtz: branch_known = (x > 0); break;
+                case Op::kIfLez: branch_known = (x <= 0); break;
+                default: break;
+              }
+            } else if (bc::is_two_reg_if(inst.src.op) && a.int_const &&
+                       in(1).int_const) {
+              int64_t x = *a.int_const, y = *in(1).int_const;
+              switch (inst.src.op) {
+                case Op::kIfEq: branch_known = (x == y); break;
+                case Op::kIfNe: branch_known = (x != y); break;
+                case Op::kIfLt: branch_known = (x < y); break;
+                case Op::kIfGe: branch_known = (x >= y); break;
+                case Op::kIfGt: branch_known = (x > y); break;
+                case Op::kIfLe: branch_known = (x <= y); break;
+                default: break;
+              }
+            }
+            break;
+          }
+          default:
+            break;
+        }
+        if (has_out) {
+          out.taint |= implicit;
+          if (auto it = rebound.find(inst.def); it != rebound.end()) {
+            out = it->second;
+          }
+          out.taint |= extra_taint[inst.def];
+          facts[inst.def] = out;
+        }
+      }
+
+      // Successor edges. succs order for a conditional-branch block is
+      // [fallthrough, branch target, handler...]; a decided branch keeps
+      // only its taken edge live (handler edges stay live: the per-
+      // instruction try split may attach one to any covered block).
+      auto mark_edge = [&](uint32_t succ) {
+        if (exec_edges.insert({b.id, succ}).second) local_changed = true;
+        if (!executable[succ]) {
+          executable[succ] = 1;
+          local_changed = true;
+        }
+        FieldOverrides& dst = fields_in[succ];
+        for (const auto& [key, word] : fields) {
+          auto it = dst.find(key);
+          if (it == dst.end()) {
+            dst[key] = word;
+            local_changed = true;
+          } else if ((it->second | word) != it->second) {
+            it->second |= word;
+            local_changed = true;
+          }
+        }
+      };
+      if (branch_known.has_value() && b.succs.size() >= 2) {
+        mark_edge(b.succs[*branch_known ? 1 : 0]);
+        for (size_t s = 2; s < b.succs.size(); ++s) mark_edge(b.succs[s]);
+      } else {
+        for (uint32_t s : b.succs) mark_edge(s);
+      }
+    }
+
+    if (!local_changed && facts == prev_facts) break;
+    if (facts != prev_facts) local_changed = true;
+    prev_facts = facts;
+  }
+}
+
+}  // namespace
+
+AnalysisResult analyze_ssa(const ToolConfig& cfg, const dex::DexFile& file) {
+  SsaEngine engine(cfg, file);
+  return engine.run();
+}
+
+}  // namespace dexlego::analysis

@@ -1,0 +1,19 @@
+// Flow-sensitive taint engine over the SSA IR (src/ir/). Selected with
+// ToolConfig::engine = TaintEngine::kSsa; shares the interprocedural core
+// (taint_core.h) with the original per-pc bytecode engine, so summaries,
+// framework models and precision knobs behave identically. The SSA engine
+// computes sparse per-value facts with phi joins restricted to executable
+// edges and prunes provably-constant branches unconditionally — the
+// DeadBranch false positives disappear under every preset, not just the
+// value-sensitive one.
+#pragma once
+
+#include "src/analysis/report.h"
+#include "src/analysis/tool_config.h"
+#include "src/dex/dex.h"
+
+namespace dexlego::analysis {
+
+AnalysisResult analyze_ssa(const ToolConfig& cfg, const dex::DexFile& file);
+
+}  // namespace dexlego::analysis

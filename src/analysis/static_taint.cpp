@@ -1,15 +1,14 @@
 #include "src/analysis/static_taint.h"
 
-#include <algorithm>
 #include <deque>
 #include <optional>
 
+#include "src/analysis/ssa_taint.h"
+#include "src/analysis/taint_core.h"
 #include "src/bytecode/insn.h"
 #include "src/dex/io.h"
 #include "src/dex/real/real_dex.h"
-#include "src/runtime/source_sink.h"
 #include "src/support/bytes.h"
-#include "src/support/log.h"
 
 namespace dexlego::analysis {
 
@@ -18,96 +17,12 @@ using bc::Op;
 
 namespace {
 
-// Taint words: low 32 bits = source bits, bits 32+ = argument tokens.
-using Taint = uint64_t;
-constexpr Taint kSourceMask = 0xffffffffull;
-constexpr int kMaxArgs = 8;
-Taint arg_token(size_t i) { return 1ull << (32 + i); }
-Taint source_bits(Taint t) { return t & kSourceMask; }
-Taint token_bits(Taint t) { return t & ~kSourceMask; }
-
-std::string source_name_for_bit(uint32_t bit) {
-  for (const rt::SourceSpec& s : rt::taint_sources()) {
-    if (s.taint == bit) {
-      return std::string(s.class_descriptor) + "->" + s.method;
-    }
-  }
-  return "source#" + std::to_string(bit);
-}
-
-// Per-method summary accumulated across fixpoint rounds.
-struct Summary {
-  Taint ret = 0;
-  std::vector<std::pair<std::string, Taint>> sinks;        // sink name, taint word
-  std::map<std::string, Taint> field_writes;               // cell key -> word
-  int depth = 1;
-
-  bool merge_ret(Taint t) {
-    Taint merged = ret | t;
-    bool changed = merged != ret;
-    ret = merged;
-    return changed;
-  }
-  bool merge_sink(const std::string& sink, Taint t) {
-    for (auto& [name, word] : sinks) {
-      if (name == sink) {
-        Taint merged = word | t;
-        bool changed = merged != word;
-        word = merged;
-        return changed;
-      }
-    }
-    sinks.emplace_back(sink, t);
-    return true;
-  }
-  bool merge_field(const std::string& key, Taint t) {
-    Taint& slot = field_writes[key];
-    Taint merged = slot | t;
-    bool changed = merged != slot;
-    slot = merged;
-    return changed;
-  }
-};
-
-struct AMethod {
-  const dex::MethodDef* def = nullptr;
-  std::string class_descriptor;
-  std::string name;
-  std::string shorty;
-  size_t num_args = 0;  // including `this` for instance methods
-  bool is_static = false;
-  bool analyzed = false;
-  Summary summary;
-};
-
-// Abstract register value: taint word plus optional constant views used by
-// reflection resolution and (value-sensitive preset) branch pruning.
-struct AbsValue {
-  Taint taint = 0;
-  std::optional<int64_t> int_const;
-  std::optional<std::string> str_const;
-  std::string reflect_class;            // set on Class.forName results
-  std::string reflect_method;           // "class|name" on getMethod results
-  std::string known_class;              // from new-instance (CHA aid)
-  bool is_builder = false;              // StringBuilder tracking (value-sens.)
-
-  bool operator==(const AbsValue&) const = default;
-
-  void merge(const AbsValue& other) {
-    taint |= other.taint;
-    if (int_const != other.int_const) int_const.reset();
-    if (str_const != other.str_const) str_const.reset();
-    if (reflect_class != other.reflect_class) reflect_class.clear();
-    if (reflect_method != other.reflect_method) reflect_method.clear();
-    if (known_class != other.known_class) known_class.clear();
-    is_builder = is_builder && other.is_builder;
-  }
-};
-
+// Per-pc abstract state of the original engine: one AbsValue per frame
+// register plus the pending invoke result and the field-override map.
 struct State {
   std::vector<AbsValue> regs;
-  AbsValue result;                       // move-result source
-  std::map<std::string, Taint> field_override;  // strong updates (flow-sens.)
+  AbsValue result;                  // move-result source
+  FieldOverrides field_override;    // strong updates (flow-sens.)
 
   bool merge(const State& other) {
     bool changed = false;
@@ -133,497 +48,38 @@ struct State {
   }
 };
 
-class Engine {
+// The original per-pc worklist engine over raw LDEX bytecode.
+class BytecodeEngine final : public TaintCore {
  public:
-  Engine(const ToolConfig& cfg, const dex::DexFile& file) : cfg_(cfg), file_(file) {}
-
-  AnalysisResult run();
+  BytecodeEngine(const ToolConfig& cfg, const dex::DexFile& file)
+      : TaintCore(cfg, file) {}
 
  private:
-  void build_method_table();
-  void compute_liveness();
-  void analyze_method(AMethod& method);
-  void transfer(AMethod& method, const dex::CodeItem& code, size_t pc,
-                const Insn& insn, State& state);
+  void analyze_method(AMethod& method) override;
+  void transfer(AMethod& method, size_t pc, const Insn& insn, State& state);
   void handle_invoke(AMethod& method, const Insn& insn, State& state);
-  // Applies a callee summary at a call site; returns the abstract result.
-  AbsValue apply_summary(AMethod& caller, AMethod& callee,
-                         const std::vector<AbsValue>& args);
-  AbsValue framework_call(AMethod& caller, const std::string& cls,
-                          const std::string& name,
-                          const std::vector<AbsValue>& args);
-  void record_sink(AMethod& method, const std::string& sink, Taint word);
-  void write_cell(AMethod& method, State& state, const std::string& key,
-                  Taint word);
-  Taint read_cell(const State& state, const std::string& key) const;
-  std::string field_key(const std::string& cls, const std::string& name) const {
-    return cfg_.field_collision_heap ? name : cls + "." + name;
-  }
-  std::vector<AMethod*> resolve_targets(const std::string& cls,
-                                        const std::string& name,
-                                        const std::string& shorty);
-  AMethod* find_method(const std::string& cls, const std::string& name,
-                       const std::string& shorty);
-  bool is_subclass(const std::string& sub, const std::string& super) const;
-
-  const ToolConfig& cfg_;
-  const dex::DexFile& file_;
-  std::deque<AMethod> methods_;
-  std::map<std::string, std::vector<AMethod*>> by_class_;
-  std::map<std::string, std::string> super_of_;
-  std::set<std::string> live_classes_;
-  std::map<std::string, Taint> global_cells_;  // fields + intent extras + tags
-  // Implicit-flow support: conditional branch pc (per method) -> cond taint.
-  std::map<std::pair<const AMethod*, size_t>, Taint> branch_taint_;
-  AnalysisResult result_;
-  bool changed_ = false;
-  AMethod* current_ = nullptr;  // method being analyzed (for depth tracking)
 };
 
-void Engine::build_method_table() {
-  for (const dex::ClassDef& cls : file_.classes) {
-    const std::string& desc = file_.type_descriptor(cls.type_idx);
-    if (cls.super_type_idx != dex::kNoIndex) {
-      super_of_[desc] = file_.type_descriptor(cls.super_type_idx);
-    }
-    auto add = [&](const dex::MethodDef& def) {
-      AMethod m;
-      m.def = &def;
-      m.class_descriptor = desc;
-      m.name = file_.method_name(def.method_ref);
-      m.shorty = file_.proto_shorty(file_.methods[def.method_ref].proto);
-      m.is_static = (def.access_flags & dex::kAccStatic) != 0;
-      size_t params =
-          file_.protos[file_.methods[def.method_ref].proto].param_types.size();
-      m.num_args = params + (m.is_static ? 0 : 1);
-      methods_.push_back(std::move(m));
-      by_class_[desc].push_back(&methods_.back());
-    };
-    for (const dex::MethodDef& def : cls.direct_methods) add(def);
-    for (const dex::MethodDef& def : cls.virtual_methods) add(def);
-  }
-}
-
-bool Engine::is_subclass(const std::string& sub, const std::string& super) const {
-  std::string cur = sub;
-  for (int i = 0; i < 64; ++i) {
-    if (cur == super) return true;
-    auto it = super_of_.find(cur);
-    if (it == super_of_.end()) return false;
-    cur = it->second;
-  }
-  return false;
-}
-
-void Engine::compute_liveness() {
-  // Live: activity components, instantiated classes, forName-able strings.
-  std::set<std::string> instantiated;
-  std::set<std::string> named;
-  for (const dex::ClassDef& cls : file_.classes) {
-    for (const auto* mv : {&cls.direct_methods, &cls.virtual_methods}) {
-      for (const dex::MethodDef& def : *mv) {
-        if (!def.code) continue;
-        std::span<const uint16_t> insns(def.code->insns);
-        size_t pc = 0;
-        while (pc < insns.size()) {
-          Insn insn = bc::decode_at(insns, pc);
-          if (insn.op == Op::kNewInstance) {
-            instantiated.insert(file_.type_descriptor(insn.idx));
-          } else if (insn.op == Op::kConstString) {
-            const std::string& s = file_.string_at(insn.idx);
-            if (!s.empty() && s.front() == 'L' && s.back() == ';') named.insert(s);
-          }
-          pc += insn.width;
-        }
-      }
-    }
-  }
-  for (const dex::ClassDef& cls : file_.classes) {
-    const std::string& desc = file_.type_descriptor(cls.type_idx);
-    bool activity = false;
-    std::string cur = desc;
-    for (int i = 0; i < 64; ++i) {
-      auto it = super_of_.find(cur);
-      std::string super = it != super_of_.end() ? it->second : "";
-      if (super.empty()) break;
-      if (super == "Landroid/app/Activity;") activity = true;
-      cur = super;
-    }
-    if (activity || instantiated.contains(desc) || named.contains(desc) ||
-        desc == "Ldexlego/Modification;") {
-      live_classes_.insert(desc);
-    }
-  }
-  for (AMethod& m : methods_) {
-    if (live_classes_.contains(m.class_descriptor)) {
-      m.analyzed = m.def->code.has_value();
-    } else if (cfg_.orphan_callbacks && m.name.rfind("on", 0) == 0) {
-      // FlowDroid-style lifecycle over-approximation: callbacks of classes
-      // never instantiated are still treated as potentially invocable.
-      m.analyzed = m.def->code.has_value();
-    }
-  }
-}
-
-AMethod* Engine::find_method(const std::string& cls, const std::string& name,
-                             const std::string& shorty) {
-  std::string cur = cls;
-  for (int i = 0; i < 64; ++i) {
-    auto it = by_class_.find(cur);
-    if (it != by_class_.end()) {
-      for (AMethod* m : it->second) {
-        if (m->name == name && (shorty.empty() || m->shorty == shorty)) return m;
-      }
-      // Name-only fallback mirrors the runtime's lenient dispatch.
-      for (AMethod* m : it->second) {
-        if (m->name == name) return m;
-      }
-    }
-    auto sit = super_of_.find(cur);
-    if (sit == super_of_.end()) return nullptr;
-    cur = sit->second;
-  }
-  return nullptr;
-}
-
-std::vector<AMethod*> Engine::resolve_targets(const std::string& cls,
-                                              const std::string& name,
-                                              const std::string& shorty) {
-  std::vector<AMethod*> targets;
-  if (AMethod* m = find_method(cls, name, shorty)) targets.push_back(m);
-  // CHA: overriding definitions in subclasses.
-  for (auto& [desc, methods] : by_class_) {
-    if (desc == cls || !is_subclass(desc, cls)) continue;
-    for (AMethod* m : methods) {
-      if (m->name == name && m->shorty == shorty &&
-          std::find(targets.begin(), targets.end(), m) == targets.end()) {
-        targets.push_back(m);
-      }
-    }
-  }
-  return targets;
-}
-
-void Engine::record_sink(AMethod& method, const std::string& sink, Taint word) {
-  Taint src = source_bits(word);
-  for (uint32_t bit = 0; bit < 32; ++bit) {
-    if (src & (1u << bit)) {
-      Flow flow{source_name_for_bit(1u << bit), sink,
-                method.class_descriptor + "->" + method.name};
-      if (result_.flows.insert(flow).second) changed_ = true;
-    }
-  }
-  if (token_bits(word) != 0) {
-    changed_ |= method.summary.merge_sink(sink, token_bits(word));
-  }
-}
-
-void Engine::write_cell(AMethod& method, State& state, const std::string& key,
-                        Taint word) {
-  if (cfg_.flow_sensitive_fields) {
-    state.field_override[key] = word;  // strong update
-  }
-  Taint src = source_bits(word);
-  if (src != 0 && !cfg_.flow_sensitive_fields) {
-    Taint& cell = global_cells_[key];
-    if ((cell | src) != cell) {
-      cell |= src;
-      changed_ = true;
-    }
-  }
-  if (token_bits(word) != 0) {
-    changed_ |= method.summary.merge_field(key, token_bits(word));
-  }
-}
-
-Taint Engine::read_cell(const State& state, const std::string& key) const {
-  auto it = state.field_override.find(key);
-  Taint local = it != state.field_override.end() ? it->second : 0;
-  auto git = global_cells_.find(key);
-  Taint global =
-      (it != state.field_override.end() && cfg_.flow_sensitive_fields)
-          ? 0  // strong update shadows the global cell on this path
-          : (git != global_cells_.end() ? git->second : 0);
-  return local | global;
-}
-
-AbsValue Engine::apply_summary(AMethod& caller, AMethod& callee,
-                               const std::vector<AbsValue>& args) {
-  AbsValue out;
-  // Reachability: a callee of an analyzed method joins the analyzed set
-  // (covers classes only reachable through resolved reflection or code
-  // revealed by DexLego — the initial set is just components + callbacks).
-  if (!callee.analyzed && callee.def->code.has_value()) {
-    callee.analyzed = true;
-    changed_ = true;
-  }
-  if (callee.summary.depth >= cfg_.max_summary_depth) {
-    return out;  // DroidSafe-style call-chain cut: no propagation
-  }
-  auto resolve = [&](Taint word) {
-    Taint resolved = source_bits(word);
-    for (size_t i = 0; i < args.size() && i < kMaxArgs; ++i) {
-      if (word & arg_token(i)) resolved |= args[i].taint;
-    }
-    return resolved;
-  };
-  out.taint = resolve(callee.summary.ret);
-  for (const auto& [sink, word] : callee.summary.sinks) {
-    record_sink(caller, sink, resolve(word));
-  }
-  for (const auto& [key, word] : callee.summary.field_writes) {
-    Taint resolved = resolve(word);
-    Taint src = source_bits(resolved);
-    if (src != 0) {
-      Taint& cell = global_cells_[key];
-      if ((cell | src) != cell) {
-        cell |= src;
-        changed_ = true;
-      }
-    }
-    if (token_bits(resolved) != 0) {
-      changed_ |= caller.summary.merge_field(key, token_bits(resolved));
-    }
-  }
-  int depth = callee.summary.depth + 1;
-  if (depth > caller.summary.depth) {
-    caller.summary.depth = depth;
-    changed_ = true;
-  }
-  return out;
-}
-
-AbsValue Engine::framework_call(AMethod& caller, const std::string& cls,
-                                const std::string& name,
-                                const std::vector<AbsValue>& args) {
-  AbsValue out;
-  // Sources and sinks from the shared registry.
-  if (const rt::SourceSpec* src = rt::find_source(cls, name)) {
-    out.taint = src->taint;
-    return out;
-  }
-  if (const rt::SinkSpec* sink = rt::find_sink(cls, name)) {
-    Taint word = 0;
-    for (const AbsValue& a : args) word |= a.taint;
-    record_sink(caller, sink->sink_name, word);
-    return out;
-  }
-
-  // Reflection.
-  if (cls == "Ljava/lang/Class;" && name == "forName") {
-    if (!args.empty() && args[0].str_const) out.reflect_class = *args[0].str_const;
-    return out;
-  }
-  if (cls == "Ljava/lang/Class;" && name == "getMethod") {
-    if (args.size() > 1 && !args[0].reflect_class.empty() && args[1].str_const) {
-      out.reflect_method = args[0].reflect_class + "|" + *args[1].str_const;
-    }
-    return out;
-  }
-  if (cls == "Ljava/lang/reflect/Method;" && name == "invoke") {
-    if (!args.empty() && !args[0].reflect_method.empty()) {
-      auto bar = args[0].reflect_method.find('|');
-      std::string tcls = args[0].reflect_method.substr(0, bar);
-      std::string tname = args[0].reflect_method.substr(bar + 1);
-      if (AMethod* target = find_method(tcls, tname, "")) {
-        std::vector<AbsValue> call_args;
-        size_t skip = target->is_static ? 2 : 1;
-        for (size_t i = skip; i < args.size(); ++i) call_args.push_back(args[i]);
-        if (!target->is_static && args.size() > 1) {
-          call_args.insert(call_args.begin(), args[1]);
-        }
-        return apply_summary(caller, *target, call_args);
-      }
-    }
-    // Unresolved reflection: conservative no-flow (this is precisely the gap
-    // DexLego's direct-call replacement closes).
-    return out;
-  }
-  if (cls == "Ljava/lang/Class;" && name == "newInstance") {
-    if (!args.empty() && !args[0].reflect_class.empty()) {
-      out.known_class = args[0].reflect_class;
-      if (AMethod* ctor = find_method(args[0].reflect_class, "<init>", "()V")) {
-        apply_summary(caller, *ctor, {out});
-      }
-    }
-    return out;
-  }
-
-  // Intent / ICC cells.
-  if (cls == "Landroid/content/Intent;" && name == "putExtra") {
-    std::string key = (args.size() > 1 && args[1].str_const)
-                          ? "intent:" + *args[1].str_const
-                          : "intent:*";
-    Taint word = args.size() > 2 ? args[2].taint : 0;
-    // Writes happen regardless of the tool's ICC support; only reads differ.
-    Taint src = source_bits(word);
-    if (src != 0) {
-      Taint& cell = global_cells_[key];
-      if ((cell | src) != cell) {
-        cell |= src;
-        changed_ = true;
-      }
-    }
-    if (token_bits(word) != 0) {
-      changed_ |= caller.summary.merge_field(key, token_bits(word));
-    }
-    if (!args.empty()) out = args[0];  // returns the intent
-    return out;
-  }
-  if (cls == "Landroid/content/Intent;" && name == "getStringExtra") {
-    if (cfg_.icc) {
-      std::string key = (args.size() > 1 && args[1].str_const)
-                            ? "intent:" + *args[1].str_const
-                            : "intent:*";
-      auto it = global_cells_.find(key);
-      if (it != global_cells_.end()) out.taint |= it->second;
-      auto wild = global_cells_.find("intent:*");
-      if (wild != global_cells_.end()) out.taint |= wild->second;
-    }
-    return out;
-  }
-
-  // View tags: a single coarse cell — the framework summary every tool uses
-  // (keeps Button1/3-style flows detectable; causes coarse-tag FPs).
-  if (cls == "Landroid/view/View;" && name == "setTag") {
-    Taint word = args.size() > 1 ? args[1].taint : 0;
-    Taint src = source_bits(word);
-    if (src != 0) {
-      Taint& cell = global_cells_["viewtag"];
-      if ((cell | src) != cell) {
-        cell |= src;
-        changed_ = true;
-      }
-    }
-    if (token_bits(word) != 0) {
-      changed_ |= caller.summary.merge_field("viewtag", token_bits(word));
-    }
-    return out;
-  }
-  if (cls == "Landroid/view/View;" && name == "getTag") {
-    auto it = global_cells_.find("viewtag");
-    if (it != global_cells_.end()) out.taint = it->second;
-    return out;
-  }
-
-  // External files: no tool models this channel (paper, PrivateDataLeak3).
-  if (cls == "Ldexlego/api/Io;") return out;
-  // Sanitizer clears taint.
-  if (cls == "Ldexlego/api/Sanitizer;") return out;
-
-  // Handler.post: edge into the runnable's run() when its class is known.
-  if (cls == "Landroid/os/Handler;" && name == "post") {
-    if (cfg_.handler_edges && args.size() > 1 && !args[1].known_class.empty()) {
-      if (AMethod* run = find_method(args[1].known_class, "run", "()V")) {
-        apply_summary(caller, *run, {args[1]});
-      }
-    }
-    return out;
-  }
-
-  // Value-sensitive string building (HornDroid): evaluate xor decoding and
-  // concatenation over known constants so runtime-built reflection strings
-  // resolve statically.
-  if (cfg_.value_sensitive) {
-    if (cls == "Ldexlego/api/Crypto;" && name == "xorDecode" && args.size() > 1 &&
-        args[0].str_const && args[1].int_const) {
-      std::string s = *args[0].str_const;
-      for (char& c : s) c = static_cast<char>(c ^ static_cast<char>(*args[1].int_const));
-      out.str_const = s;
-    } else if (cls == "Ljava/lang/String;" && name == "concat" &&
-               args.size() > 1 && args[0].str_const && args[1].str_const) {
-      out.str_const = *args[0].str_const + *args[1].str_const;
-    } else if (cls == "Ljava/lang/StringBuilder;" && name == "append" &&
-               args.size() > 1 && args[0].str_const && args[1].str_const) {
-      out.str_const = *args[0].str_const + *args[1].str_const;
-      out.is_builder = true;
-    } else if (cls == "Ljava/lang/StringBuilder;" && name == "toString" &&
-               !args.empty() && args[0].str_const) {
-      out.str_const = args[0].str_const;
-    }
-  }
-
-  // Default framework summary: taint-preserving (result = union of args).
-  for (const AbsValue& a : args) out.taint |= a.taint;
-  return out;
-}
-
-void Engine::handle_invoke(AMethod& method, const Insn& insn, State& state) {
-  const dex::MethodRef& ref = file_.methods.at(insn.idx);
-  std::string cls = file_.type_descriptor(ref.class_type);
-  std::string name = file_.string_at(ref.name);
-  std::string shorty = file_.proto_shorty(ref.proto);
-
+void BytecodeEngine::handle_invoke(AMethod& method, const Insn& insn,
+                                   State& state) {
   std::vector<AbsValue> args;
   for (uint8_t i = 0; i < insn.a; ++i) args.push_back(state.regs.at(insn.args[i]));
-
-  // Prefer the receiver's known dynamic class for virtual dispatch.
-  std::string dispatch_cls = cls;
-  if (insn.op == Op::kInvokeVirtual && !args.empty() &&
-      !args[0].known_class.empty()) {
-    dispatch_cls = args[0].known_class;
-  }
-
-  std::vector<AMethod*> targets =
-      insn.op == Op::kInvokeVirtual ? resolve_targets(dispatch_cls, name, shorty)
-                                    : resolve_targets(cls, name, shorty);
-  if (targets.empty()) {
-    state.result = framework_call(method, cls, name, args);
-    // new StringBuilder() constructor: start constant tracking.
-    if (cfg_.value_sensitive && name == "<init>" &&
-        cls == "Ljava/lang/StringBuilder;" && !args.empty()) {
-      AbsValue builder = args[0];
-      builder.str_const = args.size() > 1 && args[1].str_const
-                              ? *args[1].str_const
-                              : std::string();
-      builder.is_builder = true;
-      state.regs.at(insn.args[0]) = builder;
-    }
-    return;
-  }
-  AbsValue merged;
-  for (AMethod* target : targets) {
-    AbsValue r = apply_summary(method, *target, args);
-    merged.taint |= r.taint;
-  }
-  state.result = merged;
+  InvokeResult r = invoke_transfer(method, insn.op, insn.idx, args);
+  state.result = r.result;
+  if (r.update_receiver) state.regs.at(insn.args[0]) = r.receiver;
 }
 
-void Engine::transfer(AMethod& method, const dex::CodeItem& code, size_t pc,
-                      const Insn& insn, State& state) {
-  (void)code;
+void BytecodeEngine::transfer(AMethod& method, size_t pc, const Insn& insn,
+                              State& state) {
   // Implicit-flow context for this pc (HornDroid preset only).
-  Taint implicit = 0;
-  if (cfg_.implicit_flows) {
-    for (const auto& [key, taint] : branch_taint_) {
-      if (key.first != &method) continue;
-      // Region of a forward branch at b with target t: (b, t).
-      size_t b = key.second;
-      std::span<const uint16_t> insns(method.def->code->insns);
-      Insn branch = bc::decode_at(insns, b);
-      size_t t = b + static_cast<size_t>(branch.off);
-      if (t > b && pc > b && pc < t) implicit |= taint;
-    }
-  }
+  Taint implicit = implicit_context(method, pc);
   auto write_reg = [&](uint8_t r, AbsValue v) {
     v.taint |= implicit;
     state.regs.at(r) = std::move(v);
   };
   // Flow-sensitive field handling defers global-store publication to method
   // exits so intra-method strong updates can kill overwritten taint first.
-  auto fold_exit = [&] {
-    if (!cfg_.flow_sensitive_fields) return;
-    for (const auto& [key, word] : state.field_override) {
-      Taint src = source_bits(word);
-      if (src != 0) {
-        Taint& cell = global_cells_[key];
-        if ((cell | src) != cell) {
-          cell |= src;
-          changed_ = true;
-        }
-      }
-    }
-  };
+  auto fold_exit = [&] { publish_overrides(state.field_override); };
 
   switch (insn.op) {
     case Op::kReturnVoid:
@@ -735,14 +191,15 @@ void Engine::transfer(AMethod& method, const dex::CodeItem& code, size_t pc,
       const dex::FieldRef& f = file_.fields.at(insn.idx);
       AbsValue v;
       v.taint = state.regs.at(insn.b).taint |
-                read_cell(state, field_key(file_.type_descriptor(f.class_type),
-                                           file_.string_at(f.name)));
+                read_cell(state.field_override,
+                          field_key(file_.type_descriptor(f.class_type),
+                                    file_.string_at(f.name)));
       write_reg(insn.a, v);
       break;
     }
     case Op::kIput: {
       const dex::FieldRef& f = file_.fields.at(insn.idx);
-      write_cell(method, state,
+      write_cell(method, state.field_override,
                  field_key(file_.type_descriptor(f.class_type),
                            file_.string_at(f.name)),
                  state.regs.at(insn.a).taint | implicit);
@@ -751,14 +208,15 @@ void Engine::transfer(AMethod& method, const dex::CodeItem& code, size_t pc,
     case Op::kSget: {
       const dex::FieldRef& f = file_.fields.at(insn.idx);
       AbsValue v;
-      v.taint = read_cell(state, field_key(file_.type_descriptor(f.class_type),
-                                           file_.string_at(f.name)));
+      v.taint = read_cell(state.field_override,
+                          field_key(file_.type_descriptor(f.class_type),
+                                    file_.string_at(f.name)));
       write_reg(insn.a, v);
       break;
     }
     case Op::kSput: {
       const dex::FieldRef& f = file_.fields.at(insn.idx);
-      write_cell(method, state,
+      write_cell(method, state.field_override,
                  field_key(file_.type_descriptor(f.class_type),
                            file_.string_at(f.name)),
                  state.regs.at(insn.a).taint | implicit);
@@ -781,10 +239,9 @@ void Engine::transfer(AMethod& method, const dex::CodeItem& code, size_t pc,
   }
 }
 
-void Engine::analyze_method(AMethod& method) {
+void BytecodeEngine::analyze_method(AMethod& method) {
   const dex::CodeItem& code = *method.def->code;
   std::span<const uint16_t> insns(code.insns);
-  current_ = &method;
 
   State entry;
   entry.regs.assign(code.registers_size, AbsValue{});
@@ -818,13 +275,7 @@ void Engine::analyze_method(AMethod& method) {
     if (bc::is_conditional_branch(insn.op)) {
       Taint cond = state.regs.at(insn.a).taint;
       if (bc::is_two_reg_if(insn.op)) cond |= state.regs.at(insn.b).taint;
-      if (cfg_.implicit_flows && cond != 0) {
-        Taint& slot = branch_taint_[{&method, pc}];
-        if ((slot | cond) != slot) {
-          slot |= cond;
-          changed_ = true;
-        }
-      }
+      record_branch_taint(method, pc, cond);
       std::optional<bool> known;
       if (cfg_.value_sensitive) {
         const AbsValue& a = state.regs.at(insn.a);
@@ -860,9 +311,9 @@ void Engine::analyze_method(AMethod& method) {
         succ.push_back(pc + insn.width);
         succ.push_back(pc + static_cast<size_t>(insn.off));
       }
-      transfer(method, code, pc, insn, state);
+      transfer(method, pc, insn, state);
     } else {
-      transfer(method, code, pc, insn, state);
+      transfer(method, pc, insn, state);
       try {
         succ = bc::successors_at(insns, pc);
       } catch (const support::ParseError&) {
@@ -886,27 +337,13 @@ void Engine::analyze_method(AMethod& method) {
       }
     }
   }
-  current_ = nullptr;
-}
-
-AnalysisResult Engine::run() {
-  build_method_table();
-  compute_liveness();
-
-  for (int round = 0; round < cfg_.max_rounds; ++round) {
-    changed_ = false;
-    for (AMethod& method : methods_) {
-      if (method.analyzed) analyze_method(method);
-    }
-    if (!changed_) break;
-  }
-  return std::move(result_);
 }
 
 }  // namespace
 
 AnalysisResult StaticAnalyzer::analyze(const dex::DexFile& file) {
-  Engine engine(cfg_, file);
+  if (cfg_.engine == TaintEngine::kSsa) return analyze_ssa(cfg_, file);
+  BytecodeEngine engine(cfg_, file);
   return engine.run();
 }
 

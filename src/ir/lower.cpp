@@ -1,0 +1,372 @@
+#include "src/ir/lower.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/support/bytes.h"
+
+namespace dexlego::ir {
+
+namespace {
+
+using bc::Insn;
+using bc::Op;
+
+// Rewrites the register operands of inst.src from the SSA value → register
+// assignment. Field order mirrors insn_read_regs / insn_written_reg.
+Insn rebuild_insn(const Inst& inst, const std::vector<uint16_t>& reg_of) {
+  Insn out = inst.src;
+  if (inst.def == kNoValue && inst.uses.empty()) return out;  // raw / no regs
+  auto reg8 = [&](ValueId v) {
+    uint16_t r = reg_of[v];
+    if (r > 0xff) {
+      throw support::ParseError("lower: register v" + std::to_string(r) +
+                                " not encodable");
+    }
+    return static_cast<uint8_t>(r);
+  };
+  const auto& u = inst.uses;
+  switch (out.op) {
+    case Op::kMove:
+      out.b = reg8(u[0]);
+      break;
+    case Op::kReturn:
+    case Op::kThrow:
+    case Op::kPackedSwitch:
+    case Op::kSput:
+      out.a = reg8(u[0]);
+      break;
+    case Op::kIfEq:
+    case Op::kIfNe:
+    case Op::kIfLt:
+    case Op::kIfGe:
+    case Op::kIfGt:
+    case Op::kIfLe:
+      out.a = reg8(u[0]);
+      out.b = reg8(u[1]);
+      break;
+    case Op::kIfEqz:
+    case Op::kIfNez:
+    case Op::kIfLtz:
+    case Op::kIfGez:
+    case Op::kIfGtz:
+    case Op::kIfLez:
+      out.a = reg8(u[0]);
+      break;
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kDiv:
+    case Op::kRem:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kShl:
+    case Op::kShr:
+    case Op::kCmp:
+    case Op::kAget:
+      out.b = reg8(u[0]);
+      out.c = reg8(u[1]);
+      break;
+    case Op::kAddLit8:
+    case Op::kMulLit8:
+    case Op::kNeg:
+    case Op::kNot:
+    case Op::kNewArray:
+    case Op::kArrayLength:
+    case Op::kIget:
+    case Op::kInstanceOf:
+      out.b = reg8(u[0]);
+      break;
+    case Op::kAput:
+      out.a = reg8(u[0]);
+      out.b = reg8(u[1]);
+      out.c = reg8(u[2]);
+      break;
+    case Op::kIput:
+      out.a = reg8(u[0]);
+      out.b = reg8(u[1]);
+      break;
+    case Op::kInvokeVirtual:
+    case Op::kInvokeDirect:
+    case Op::kInvokeStatic:
+      for (size_t i = 0; i < u.size() && i < 4; ++i) out.args[i] = reg8(u[i]);
+      break;
+    default:
+      break;
+  }
+  // kMoveResult's use is the pseudo result register — never encoded.
+  if (inst.def != kNoValue && insn_written_reg(inst.src).has_value()) {
+    out.a = reg8(inst.def);
+  }
+  return out;
+}
+
+bool is_branch(Op op) {
+  return op == Op::kGoto || bc::is_conditional_branch(op) ||
+         op == Op::kPackedSwitch;
+}
+
+// One scheduled emission: either an original IR instruction, an inserted
+// copy, or a payload island.
+struct EmitItem {
+  enum class Kind { kInst, kCopy, kPayload } kind = Kind::kInst;
+  const Inst* inst = nullptr;          // kInst
+  Insn copy;                           // kCopy
+  const PayloadIsland* island = nullptr;  // kPayload
+  uint32_t old_pc = 0;   // kInst / kPayload only (copies have no old pc)
+  bool has_old_pc = false;
+  uint32_t new_pc = 0;
+  size_t width = 0;
+};
+
+}  // namespace
+
+dex::CodeItem lower(const Function& fn) {
+  // 1. Register assignment: every lifter-made value keeps its origin
+  // register; pass-introduced temporaries get scratch registers above the
+  // frame (index registers_size is reserved for the result pseudo slot).
+  std::vector<uint16_t> reg_of(fn.values.size(), 0);
+  uint16_t next_scratch = static_cast<uint16_t>(fn.registers_size + 1);
+  for (ValueId v = 0; v < fn.values.size(); ++v) {
+    if (fn.values[v].origin_reg >= 0) {
+      reg_of[v] = static_cast<uint16_t>(fn.values[v].origin_reg);
+    } else {
+      reg_of[v] = next_scratch++;
+    }
+  }
+
+  // 2. Copy insertion: a phi whose operand lives in a different register
+  // than its destination needs a move at the end of the predecessor.
+  std::map<uint32_t, std::vector<Insn>> copies;  // block id -> moves
+  for (const Block& b : fn.blocks) {
+    if (!b.reachable) continue;
+    for (const Phi& phi : b.phis) {
+      uint16_t dreg = reg_of[phi.dest];
+      for (size_t i = 0; i < phi.args.size() && i < b.preds.size(); ++i) {
+        ValueId a = phi.args[i];
+        if (a == kNoValue || reg_of[a] == dreg) continue;
+        const Block& pred = fn.blocks[b.preds[i]];
+        if (pred.succs.size() > 1) {
+          throw support::ParseError(
+              "lower: phi copy needed on critical edge from block " +
+              std::to_string(pred.id));
+        }
+        if (dreg > 0xff || reg_of[a] > 0xff) {
+          throw support::ParseError("lower: copy register not encodable");
+        }
+        Insn mv;
+        mv.op = Op::kMove;
+        mv.a = static_cast<uint8_t>(dreg);
+        mv.b = static_cast<uint8_t>(reg_of[a]);
+        mv.width = bc::op_info(Op::kMove).width;
+        auto& list = copies[pred.id];
+        if (std::find(list.begin(), list.end(), mv) == list.end()) {
+          // A later copy must not read a register an earlier one wrote
+          // (parallel-copy cycles need a temp we do not allocate).
+          for (const Insn& prev : list) {
+            if (prev.a == mv.b) {
+              throw support::ParseError(
+                  "lower: parallel phi copies require a temporary");
+            }
+          }
+          list.push_back(mv);
+        }
+      }
+    }
+  }
+
+  // 3. Schedule emission in layout order, interleaving payload islands at
+  // their original positions. Dead instructions and (under DCE) raw
+  // unreachable blocks are skipped.
+  auto payload_live = [&](const PayloadIsland& island) {
+    if (!fn.drop_unreachable) return true;
+    for (const Block& b : fn.blocks) {
+      if (!b.reachable) continue;
+      for (const Inst& inst : b.insts) {
+        if (inst.src.op == Op::kPackedSwitch && !inst.dead &&
+            std::find(island.switch_pcs.begin(), island.switch_pcs.end(),
+                      inst.orig_pc) != island.switch_pcs.end()) {
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+
+  std::vector<EmitItem> items;
+  size_t next_payload = 0;
+  std::vector<const PayloadIsland*> payloads;
+  for (const PayloadIsland& p : fn.payloads) {
+    if (payload_live(p)) payloads.push_back(&p);
+  }
+  auto flush_payloads_before = [&](uint32_t pc) {
+    while (next_payload < payloads.size() && payloads[next_payload]->pc < pc) {
+      EmitItem item;
+      item.kind = EmitItem::Kind::kPayload;
+      item.island = payloads[next_payload];
+      item.old_pc = payloads[next_payload]->pc;
+      item.has_old_pc = true;
+      item.width = payloads[next_payload]->units.size();
+      items.push_back(item);
+      ++next_payload;
+    }
+  };
+
+  for (const Block& b : fn.blocks) {
+    if (!b.reachable && fn.drop_unreachable) continue;
+    if (!b.insts.empty()) flush_payloads_before(b.insts.front().orig_pc);
+    auto copy_it = copies.find(b.id);
+    size_t term_index = b.insts.size();
+    if (copy_it != copies.end() && !b.insts.empty() &&
+        is_branch(b.insts.back().src.op)) {
+      term_index = b.insts.size() - 1;
+    }
+    for (size_t i = 0; i < b.insts.size(); ++i) {
+      if (copy_it != copies.end() && i == term_index) {
+        for (const Insn& mv : copy_it->second) {
+          // The terminator must not read the copy destination.
+          for (ValueId u : b.insts[i].uses) {
+            if (reg_of[u] == mv.a) {
+              throw support::ParseError(
+                  "lower: phi copy clobbers terminator operand");
+            }
+          }
+          EmitItem item;
+          item.kind = EmitItem::Kind::kCopy;
+          item.copy = mv;
+          item.width = mv.width;
+          items.push_back(item);
+        }
+      }
+      const Inst& inst = b.insts[i];
+      if (inst.dead) continue;
+      EmitItem item;
+      item.kind = EmitItem::Kind::kInst;
+      item.inst = &inst;
+      item.old_pc = inst.orig_pc;
+      item.has_old_pc = true;
+      item.width = bc::consumed_units(inst.src);
+      items.push_back(item);
+    }
+    if (copy_it != copies.end() && term_index == b.insts.size()) {
+      for (const Insn& mv : copy_it->second) {
+        EmitItem item;
+        item.kind = EmitItem::Kind::kCopy;
+        item.copy = mv;
+        item.width = mv.width;
+        items.push_back(item);
+      }
+    }
+  }
+  flush_payloads_before(0xffffffffu);
+
+  // 4. Layout: assign new pcs; build the old→new map over survivors.
+  std::map<uint32_t, uint32_t> new_pc;  // old pc -> new pc
+  {
+    uint32_t pc = 0;
+    for (EmitItem& item : items) {
+      item.new_pc = pc;
+      if (item.has_old_pc) new_pc[item.old_pc] = pc;
+      pc += static_cast<uint32_t>(item.width);
+    }
+  }
+  uint32_t total_units = 0;
+  for (const EmitItem& item : items) {
+    total_units += static_cast<uint32_t>(item.width);
+  }
+  // Resolve an old pc to the new pc of the first surviving item at or
+  // after it (dead instructions between were removed, so jumping to the
+  // next survivor is behaviour-preserving).
+  auto resolve = [&](uint32_t old_pc) -> uint32_t {
+    auto it = new_pc.lower_bound(old_pc);
+    if (it == new_pc.end()) return total_units;
+    return it->second;
+  };
+
+  // 5. Emit, recomputing branch offsets against the new layout.
+  dex::CodeItem out;
+  // Scratch registers occupy [registers_size + 1, next_scratch); when any
+  // were allocated the frame grows to cover them (slot registers_size stays
+  // an unused spacer for the result pseudo register).
+  out.registers_size = (next_scratch > fn.registers_size + 1)
+                           ? next_scratch
+                           : fn.registers_size;
+  out.ins_size = fn.ins_size;
+  auto checked_off = [&](int64_t off) {
+    if (off < -0x8000 || off > 0x7fff) {
+      throw support::ParseError("lower: branch offset out of range");
+    }
+    return static_cast<int32_t>(off);
+  };
+  for (const EmitItem& item : items) {
+    switch (item.kind) {
+      case EmitItem::Kind::kCopy:
+        bc::encode_to(item.copy, out.insns);
+        break;
+      case EmitItem::Kind::kInst: {
+        Insn insn = rebuild_insn(*item.inst, reg_of);
+        if (is_branch(insn.op)) {
+          uint32_t old_target =
+              static_cast<uint32_t>(item.old_pc + item.inst->src.off);
+          insn.off = checked_off(static_cast<int64_t>(resolve(old_target)) -
+                                 item.new_pc);
+        }
+        bc::encode_to(insn, out.insns);
+        break;
+      }
+      case EmitItem::Kind::kPayload: {
+        const PayloadIsland& island = *item.island;
+        std::vector<uint16_t> units = island.units;
+        if (!island.switch_pcs.empty()) {
+          // Re-target relative entries against the (possibly moved)
+          // referencing switch. Multiple switches sharing one payload must
+          // agree on the shift.
+          uint32_t sw_old = island.switch_pcs.front();
+          uint32_t sw_new = resolve(sw_old);
+          for (uint32_t other : island.switch_pcs) {
+            int64_t shift_a =
+                static_cast<int64_t>(sw_new) - static_cast<int64_t>(sw_old);
+            int64_t shift_b = static_cast<int64_t>(resolve(other)) -
+                              static_cast<int64_t>(other);
+            if (shift_a != shift_b) {
+              throw support::ParseError(
+                  "lower: shared switch payload with diverging shifts");
+            }
+          }
+          for (size_t i = 4; i < units.size(); ++i) {
+            int32_t old_rel = static_cast<int16_t>(units[i]);
+            uint32_t old_target = static_cast<uint32_t>(sw_old + old_rel);
+            int32_t new_rel = checked_off(
+                static_cast<int64_t>(resolve(old_target)) - sw_new);
+            units[i] = static_cast<uint16_t>(new_rel & 0xffff);
+          }
+        }
+        out.insns.insert(out.insns.end(), units.begin(), units.end());
+        break;
+      }
+    }
+  }
+
+  // 6. Remap exception ranges and line entries into the new layout.
+  for (const dex::TryItem& t : fn.tries) {
+    uint32_t s = resolve(t.start_pc);
+    uint32_t e = resolve(t.end_pc);
+    uint32_t h = resolve(t.handler_pc);
+    if (s >= e || h >= total_units) continue;  // range died under DCE
+    dex::TryItem nt;
+    nt.start_pc = static_cast<uint16_t>(s);
+    nt.end_pc = static_cast<uint16_t>(e);
+    nt.handler_pc = static_cast<uint16_t>(h);
+    out.tries.push_back(nt);
+  }
+  for (const dex::LineEntry& line : fn.lines) {
+    auto it = new_pc.find(line.pc);
+    if (it == new_pc.end()) continue;  // instruction removed
+    out.lines.push_back(dex::LineEntry{static_cast<uint16_t>(it->second),
+                                       line.line});
+  }
+  return out;
+}
+
+}  // namespace dexlego::ir

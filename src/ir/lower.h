@@ -1,0 +1,17 @@
+// Lowers SSA IR back to LDEX code units. Out-of-SSA is copy-free when the
+// function came straight from the lifter (every phi joins versions of one
+// original register), so `lower(lift(code)) == code` byte-for-byte; passes
+// that introduce values or drop instructions trigger copy insertion /
+// scratch-register allocation and offset, try-range and line-table
+// remapping. Throws support::ParseError when the result cannot be encoded
+// (offset overflow, register pressure past v255, copies on critical edges).
+#pragma once
+
+#include "src/dex/dex.h"
+#include "src/ir/ir.h"
+
+namespace dexlego::ir {
+
+dex::CodeItem lower(const Function& fn);
+
+}  // namespace dexlego::ir

@@ -1,0 +1,115 @@
+#include "src/ir/passes.h"
+
+#include <vector>
+
+namespace dexlego::ir {
+
+namespace {
+
+using bc::Op;
+
+// Opcodes with no observable effect beyond their register result: cannot
+// throw, touch the heap, or transfer control under the interpreter.
+// kMoveException stays a root (it consumes the pending-exception slot) and
+// every potentially-throwing opcode (div/rem, array and field accesses,
+// new-instance/new-array, invokes) keeps its exception behaviour.
+bool is_pure(Op op) {
+  switch (op) {
+    case Op::kNop:
+    case Op::kMove:
+    case Op::kConst16:
+    case Op::kConst32:
+    case Op::kConstWide:
+    case Op::kConstString:
+    case Op::kConstNull:
+    case Op::kMoveResult:
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kShl:
+    case Op::kShr:
+    case Op::kCmp:
+    case Op::kAddLit8:
+    case Op::kMulLit8:
+    case Op::kNeg:
+    case Op::kNot:
+    case Op::kInstanceOf:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+DceStats dead_code_elim(Function& fn) {
+  DceStats stats;
+  std::vector<uint8_t> live(fn.values.size(), 0);
+  std::vector<ValueId> work;
+  auto mark = [&](ValueId v) {
+    if (v != kNoValue && !live[v]) {
+      live[v] = 1;
+      work.push_back(v);
+    }
+  };
+
+  // Roots: uses of every effectful instruction.
+  for (const Block& b : fn.blocks) {
+    if (!b.reachable) continue;
+    for (const Inst& inst : b.insts) {
+      if (is_pure(inst.src.op)) continue;
+      for (ValueId u : inst.uses) mark(u);
+    }
+  }
+
+  // Propagate through definitions: a live value keeps its defining
+  // instruction, which keeps its own uses; live phis keep their operands.
+  while (!work.empty()) {
+    ValueId v = work.back();
+    work.pop_back();
+    const Value& val = fn.values[v];
+    if (val.def_inst == kEntryDef || val.def_block >= fn.blocks.size()) {
+      continue;
+    }
+    const Block& b = fn.blocks[val.def_block];
+    if (val.def_inst == kPhiDef) {
+      for (const Phi& phi : b.phis) {
+        if (phi.dest == v) {
+          for (ValueId a : phi.args) mark(a);
+          break;
+        }
+      }
+    } else if (val.def_inst >= 0 &&
+               static_cast<size_t>(val.def_inst) < b.insts.size()) {
+      for (ValueId u : b.insts[val.def_inst].uses) mark(u);
+    }
+  }
+
+  for (Block& b : fn.blocks) {
+    if (!b.reachable) {
+      // Raw unreachable blocks are dropped wholesale at lowering time.
+      for (const Inst& inst : b.insts) {
+        stats.units_removed +=
+            static_cast<uint32_t>(bc::consumed_units(inst.src));
+      }
+      if (!b.insts.empty()) {
+        ++stats.blocks_dropped;
+        fn.drop_unreachable = true;
+      }
+      continue;
+    }
+    for (Inst& inst : b.insts) {
+      if (inst.dead || !is_pure(inst.src.op)) continue;
+      if (inst.def != kNoValue && live[inst.def]) continue;
+      inst.dead = true;
+      ++stats.insts_removed;
+      stats.units_removed += static_cast<uint32_t>(bc::consumed_units(inst.src));
+    }
+  }
+  return stats;
+}
+
+}  // namespace dexlego::ir

@@ -1,0 +1,124 @@
+#include "src/ir/roundtrip.h"
+
+#include <exception>
+
+#include "src/bytecode/verify_code.h"
+#include "src/ir/ir.h"
+#include "src/ir/lift.h"
+#include "src/ir/lower.h"
+#include "src/ir/passes.h"
+
+namespace dexlego::ir {
+
+namespace {
+
+bool same_body(const dex::CodeItem& a, const dex::CodeItem& b) {
+  return a.registers_size == b.registers_size && a.ins_size == b.ins_size &&
+         a.insns == b.insns && a.tries.size() == b.tries.size() &&
+         [&] {
+           for (size_t i = 0; i < a.tries.size(); ++i) {
+             if (a.tries[i].start_pc != b.tries[i].start_pc ||
+                 a.tries[i].end_pc != b.tries[i].end_pc ||
+                 a.tries[i].handler_pc != b.tries[i].handler_pc) {
+               return false;
+             }
+           }
+           if (a.lines.size() != b.lines.size()) return false;
+           for (size_t i = 0; i < a.lines.size(); ++i) {
+             if (a.lines[i].pc != b.lines[i].pc ||
+                 a.lines[i].line != b.lines[i].line) {
+               return false;
+             }
+           }
+           return true;
+         }();
+}
+
+void roundtrip_method(dex::DexFile& file, dex::MethodDef& method,
+                      const RoundtripOptions& options, RoundtripStats& stats,
+                      std::vector<std::string>* errors) {
+  if (!method.code.has_value()) return;
+  ++stats.methods;
+  std::string where = file.pretty_method(method.method_ref);
+  auto report = [&](const std::string& what) {
+    if (errors != nullptr) errors->push_back(where + ": " + what);
+  };
+  try {
+    Function fn = lift_method(file, method);
+    if (options.check_ssa) {
+      std::vector<std::string> ssa_errors = verify_function(fn);
+      if (!ssa_errors.empty()) {
+        ++stats.failed;
+        report("SSA verify: " + ssa_errors.front());
+        return;
+      }
+    }
+    ++stats.lifted;
+    dex::CodeItem lowered = lower(fn);
+    if (same_body(*method.code, lowered)) {
+      ++stats.byte_identical;
+    } else {
+      ++stats.mismatched;
+      report("lower(lift(code)) differs from source");
+      return;
+    }
+    if (options.apply_dce) {
+      DceStats dce = dead_code_elim(fn);
+      if (dce.insts_removed == 0 && !fn.drop_unreachable) return;
+      dex::CodeItem optimized = lower(fn);
+      dex::VerifyResult check = bc::verify_code(file, optimized, where);
+      if (!check.ok()) {
+        ++stats.failed;
+        report("DCE output fails verify: " + check.errors.front());
+        return;
+      }
+      stats.dce_insts_removed += dce.insts_removed;
+      stats.dce_units_removed += dce.units_removed;
+      ++stats.dce_methods_changed;
+      method.code = std::move(optimized);
+    }
+  } catch (const std::exception& e) {
+    ++stats.failed;
+    report(e.what());
+  }
+}
+
+}  // namespace
+
+RoundtripStats roundtrip_file(dex::DexFile& file,
+                              const RoundtripOptions& options,
+                              std::vector<std::string>* errors) {
+  RoundtripStats stats;
+  for (dex::ClassDef& cls : file.classes) {
+    for (dex::MethodDef& m : cls.direct_methods) {
+      roundtrip_method(file, m, options, stats, errors);
+    }
+    for (dex::MethodDef& m : cls.virtual_methods) {
+      roundtrip_method(file, m, options, stats, errors);
+    }
+  }
+  return stats;
+}
+
+bool roundtrip_identical(const dex::DexFile& file,
+                         const dex::MethodDef& method, std::string* error) {
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what;
+    return false;
+  };
+  if (!method.code.has_value()) return fail("method has no code");
+  try {
+    Function fn = lift_method(file, method);
+    std::vector<std::string> ssa_errors = verify_function(fn);
+    if (!ssa_errors.empty()) return fail("SSA verify: " + ssa_errors.front());
+    dex::CodeItem lowered = lower(fn);
+    if (!same_body(*method.code, lowered)) {
+      return fail("lower(lift(code)) differs from source");
+    }
+    return true;
+  } catch (const std::exception& e) {
+    return fail(e.what());
+  }
+}
+
+}  // namespace dexlego::ir

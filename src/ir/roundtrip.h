@@ -1,0 +1,45 @@
+// Whole-file IR round-trip driver: lifts every code-bearing method to SSA,
+// lowers it back, and checks the lowered body is byte-identical to the
+// source (the invariant-15 contract when no pass ran). Optionally applies
+// dead-code elimination and rewrites the optimized bodies in place — the
+// differential oracle then owns proving trace equivalence.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/dex/dex.h"
+
+namespace dexlego::ir {
+
+struct RoundtripStats {
+  uint32_t methods = 0;         // code-bearing methods visited
+  uint32_t lifted = 0;          // lift + SSA verify succeeded
+  uint32_t byte_identical = 0;  // lower(lift(code)) == code
+  uint32_t mismatched = 0;      // lowered bytes differ (contract violation)
+  uint32_t failed = 0;          // lift/lower/SSA-verify error
+  uint32_t dce_insts_removed = 0;
+  uint32_t dce_units_removed = 0;
+  uint32_t dce_methods_changed = 0;  // bodies rewritten by DCE
+
+  bool clean() const { return mismatched == 0 && failed == 0; }
+};
+
+struct RoundtripOptions {
+  bool apply_dce = false;    // rewrite bodies with dead code removed
+  bool check_ssa = true;     // run verify_function on every lifted body
+};
+
+// Round-trips every method body in `file`. With apply_dce, bodies where
+// DCE removed anything are replaced by the optimized lowering (only when
+// it still passes the bytecode verifier). Per-method problems are
+// appended to `errors` when non-null.
+RoundtripStats roundtrip_file(dex::DexFile& file, const RoundtripOptions& options,
+                              std::vector<std::string>* errors = nullptr);
+
+// Single-method byte-identity probe for tests: lifts `method`, lowers it,
+// compares bytes. Returns false (with a message) on any failure.
+bool roundtrip_identical(const dex::DexFile& file, const dex::MethodDef& method,
+                         std::string* error = nullptr);
+
+}  // namespace dexlego::ir

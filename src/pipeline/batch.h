@@ -99,6 +99,12 @@ struct FleetStats {
   double mean_branch_coverage = 0.0;
   size_t forced_paths = 0;  // forced plan units across the fleet
 
+  // IR round-trip stage (enable_ir_roundtrip / dexlego_batch --ir-roundtrip):
+  // summed per-job ReassembleStats ir_* counters. Zero unless enabled.
+  size_t ir_methods = 0;
+  size_t ir_byte_identical = 0;
+  size_t ir_failed = 0;
+
   DedupStore::Stats store;     // snapshot after the batch
   uint64_t dedup_interns = 0;  // deterministic: sum of per-job dedup_interns
   uint64_t unique_trees = 0;   // deterministic: sum of per-job unique_trees
